@@ -1,0 +1,190 @@
+// Command dashmm-bench regenerates the utilization figures of the paper:
+//
+//	-fig4   Figure 4: total utilization fraction f_k over 100 uniform
+//	        intervals for runs on 64, 128 and 512 cores (cube data, Laplace
+//	        kernel; the paper uses 30M points — scale with -n).
+//	-fig5   Figure 5: utilization fraction by operator class for the
+//	        128-core run, grouped into the three panels of the paper: the
+//	        operations up the source tree, the operations bridging the
+//	        trees, and the operations producing the target values.
+//	-real   run the goroutine runtime on this machine (single locality)
+//	        instead of the simulator and report measured utilization.
+//
+// The simulated runs replay the explicit DAG under the Table II cost model
+// with HPX-5-style oblivious FIFO scheduling (see DESIGN.md), which is what
+// reproduces the end-of-run starvation dip the paper diagnoses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/dist"
+	"repro/internal/kernel"
+	"repro/internal/points"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+const coresPerLocality = 32
+
+func main() {
+	var (
+		n        = flag.Int("n", 300000, "points per ensemble (paper: 30M)")
+		fig4     = flag.Bool("fig4", false, "total utilization for 64/128/512 cores")
+		fig5     = flag.Bool("fig5", false, "per-class utilization at 128 cores")
+		real     = flag.Bool("real", false, "measure the real runtime on this machine instead of simulating")
+		traceOut = flag.String("trace-out", "", "with -real: write the event trace as JSON lines to this file (read it back with cmd/traceview)")
+		digits   = flag.Int("digits", 3, "accuracy digits")
+		thr      = flag.Int("threshold", 60, "refinement threshold")
+	)
+	flag.Parse()
+	if !*fig4 && !*fig5 && !*real {
+		*fig4, *fig5 = true, true
+	}
+
+	sp := points.Generate(points.Cube, *n, 1)
+	tp := points.Generate(points.Cube, *n, 2)
+	k := kernel.NewLaplace(kernel.OrderForDigits(*digits))
+	plan, err := core.NewPlan(sp, tp, k, core.Options{Threshold: *thr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# dashmm-bench: N=%d, %d DAG nodes, %d edges\n",
+		*n, len(plan.Graph.Nodes), plan.Graph.NumEdges())
+
+	if *real {
+		runReal(plan, *n, *traceOut)
+	}
+
+	cm := sim.PaperCostModel()
+	if *fig4 {
+		fmt.Printf("\n# Figure 4: total utilization fraction f_k, 100 intervals, cube Laplace\n")
+		fmt.Printf("%4s %10s %10s %10s\n", "k", "n=64", "n=128", "n=512")
+		var series [][]float64
+		for _, cores := range []int{64, 128, 512} {
+			u, r := simulate(plan.Graph, cm, cores)
+			series = append(series, u.Total)
+			first, last, plateau, found := u.Starvation(0.7)
+			fmt.Printf("# n=%d: makespan %.3fs, plateau f=%.2f, dip=%v",
+				cores, r.Makespan/1e9, plateau, found)
+			if found {
+				fmt.Printf(" at k=[%d,%d] (width %d%%)", first, last, last-first+1)
+			}
+			fmt.Println()
+		}
+		for kk := 0; kk < 100; kk++ {
+			fmt.Printf("%4d %10.4f %10.4f %10.4f\n", kk, series[0][kk], series[1][kk], series[2][kk])
+		}
+	}
+
+	if *fig5 {
+		fmt.Printf("\n# Figure 5: utilization fraction by class, 128 cores, 100 intervals\n")
+		u, _ := simulate(plan.Graph, cm, 128)
+		panels := []struct {
+			name string
+			ops  []dag.OpKind
+		}{
+			{"up the source tree", []dag.OpKind{dag.OpS2M, dag.OpM2M}},
+			{"source tree to target tree", []dag.OpKind{dag.OpM2I, dag.OpI2I, dag.OpI2L}},
+			{"final target values", []dag.OpKind{dag.OpS2T, dag.OpL2L, dag.OpL2T}},
+		}
+		for _, p := range panels {
+			fmt.Printf("\n## panel: %s\n%4s", p.name, "k")
+			for _, op := range p.ops {
+				fmt.Printf(" %10s", op)
+			}
+			fmt.Println()
+			for kk := 0; kk < 100; kk++ {
+				fmt.Printf("%4d", kk)
+				for _, op := range p.ops {
+					v := 0.0
+					if s := u.ByClass[uint8(op)]; s != nil {
+						v = s[kk]
+					}
+					fmt.Printf(" %10.4f", v)
+				}
+				fmt.Println()
+			}
+			// Last interval where each class is active: the paper's point
+			// is that S->M / M->M stretch deep into the run under oblivious
+			// scheduling.
+			for _, op := range p.ops {
+				lastK := -1
+				if s := u.ByClass[uint8(op)]; s != nil {
+					for kk, v := range s {
+						if v > 1e-6 {
+							lastK = kk
+						}
+					}
+				}
+				fmt.Printf("# %v last active at k=%d\n", op, lastK)
+			}
+		}
+	}
+}
+
+// simulate runs the DAG on `cores` simulated cores (32 per locality) and
+// returns the 100-interval utilization analysis.
+func simulate(g *dag.Graph, cm sim.CostModel, cores int) (*trace.Utilization, sim.Result) {
+	L := cores / coresPerLocality
+	if L < 1 {
+		L = 1
+	}
+	dist.MinComm{}.Assign(g, L)
+	r := sim.Run(g, sim.Config{
+		Localities: L, Cores: cores / L, Model: cm, Sched: sim.FIFO, CollectEvents: true,
+	})
+	u := trace.Analyze(r.Events, cores, 100, 0, int64(r.Makespan))
+	return u, r
+}
+
+// runReal executes the DAG on the goroutine runtime of this machine and
+// prints measured utilization and per-op averages.
+func runReal(plan *core.Plan, n int, traceOut string) {
+	w := runtime.GOMAXPROCS(0)
+	q := points.Charges(n, 3)
+	tr := trace.New(w)
+	_, rep, err := plan.Evaluate(q, core.ExecOptions{Workers: w, Tracer: tr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	events := tr.Snapshot()
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteJSON(f, events); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# trace written to %s (%d events)\n", traceOut, len(events))
+	}
+	fmt.Printf("\n# real runtime: %d workers, elapsed %v, %s\n", w, rep.Elapsed, rep.Runtime)
+	start, end := trace.Span(events)
+	u := trace.Analyze(events, w, 100, start, end)
+	var avg float64
+	for _, v := range u.Total {
+		avg += v
+	}
+	fmt.Printf("# measured mean utilization: %.2f (paper: ~0.98 single locality)\n", avg/100)
+	fmt.Printf("# per-op averages [µs]:\n")
+	am := trace.AvgMicrosByClass(events)
+	var ops []int
+	for c := range am {
+		ops = append(ops, int(c))
+	}
+	sort.Ints(ops)
+	for _, c := range ops {
+		fmt.Printf("#   %-5v %10.2f\n", dag.OpKind(c), am[uint8(c)])
+	}
+}

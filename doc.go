@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Scalable Hierarchical
+// Multipole Methods using an Asynchronous Many-Tasking Runtime System"
+// (DeBuhr, Zhang, D'Alessandro; IPDPSW 2017): the DASHMM framework — generic
+// FMM/Barnes–Hut evaluation driven by a dataflow DAG of LCOs — on an
+// HPX-5-style AMT runtime substrate, together with the discrete-event
+// machinery that regenerates every table and figure of the paper's
+// evaluation.
+//
+// The library lives under internal/: see internal/core for the DASHMM-style
+// user API, internal/amt for the runtime, internal/kernel for the Laplace
+// and Yukawa operators, and DESIGN.md for the full system inventory. The
+// benchmarks in bench_test.go index the paper's tables and figures; the
+// companion commands cmd/dagstat, cmd/scaling and cmd/dashmm-bench print
+// them in the paper's layout.
+package repro

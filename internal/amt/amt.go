@@ -1,0 +1,352 @@
+// Package amt is the asynchronous many-tasking runtime substrate standing
+// in for HPX-5 (paper, Section III). It provides:
+//
+//   - Localities: the units of distribution, roughly equivalent to MPI
+//     processes, each with its own pool of scheduler worker threads using
+//     local randomized work stealing (the paper's HPX-5 configuration).
+//   - Parcels: active messages sent to a locality; delivering a parcel
+//     spawns a lightweight thread there (the parcel–thread equivalence of
+//     HPX-5). Sending a parcel is the only way to spawn work.
+//   - LCOs: local control objects — event-driven synchronization objects
+//     with input slots, a trigger predicate (input count), and dynamically
+//     registered continuations executed as tasks once triggered.
+//
+// The runtime executes in one OS process: the "network" between localities
+// is a delivery queue with modeled byte counts (and optional injected
+// latency), and the global address space is the process heap partitioned by
+// locality ownership. DESIGN.md records why this preserves the behaviours
+// the paper measures.
+package amt
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is a unit of lightweight work. The worker executing the task is
+// passed in so tasks can spawn further work and record trace events.
+type Task func(w *Worker)
+
+// Config configures a Runtime.
+type Config struct {
+	// Localities is the number of simulated localities (default 1).
+	Localities int
+	// Workers is the number of scheduler threads per locality (default 1).
+	Workers int
+	// Latency is an optional injected delay per remote parcel.
+	Latency time.Duration
+	// Seed seeds the per-worker steal RNGs (deterministic scheduling noise).
+	Seed int64
+}
+
+// Runtime is the in-process AMT runtime.
+type Runtime struct {
+	cfg  Config
+	locs []*Locality
+
+	pending  atomic.Int64 // outstanding tasks + parcels
+	done     chan struct{}
+	doneOnce sync.Once
+
+	// Global address space (gas.go).
+	mem *gas
+
+	// Stats.
+	parcelsSent  atomic.Int64
+	parcelBytes  atomic.Int64
+	tasksRun     atomic.Int64
+	stealsOK     atomic.Int64
+	stealsFailed atomic.Int64
+}
+
+// Locality models one distributed-memory node.
+type Locality struct {
+	rt      *Runtime
+	Rank    int
+	workers []*Worker
+	spawnRR atomic.Int64
+}
+
+// Worker is one scheduler thread of a locality.
+type Worker struct {
+	loc *Locality
+	// ID is the worker index within the locality; GlobalID is unique across
+	// the runtime.
+	ID       int
+	GlobalID int
+	rng      *rand.Rand
+
+	mu    sync.Mutex
+	deque []Task // LIFO at the tail for the owner, FIFO at the head for thieves
+	// high holds priority tasks, always drained before deque. This is the
+	// "binary choice between low and high priority" extension the paper
+	// proposes in Section VI to cure the critical-path starvation.
+	high []Task
+}
+
+// New creates a runtime with the given configuration. Call Run to execute
+// work.
+func New(cfg Config) *Runtime {
+	if cfg.Localities <= 0 {
+		cfg.Localities = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	rt := &Runtime{cfg: cfg, done: make(chan struct{})}
+	gid := 0
+	for l := 0; l < cfg.Localities; l++ {
+		loc := &Locality{rt: rt, Rank: l}
+		for w := 0; w < cfg.Workers; w++ {
+			loc.workers = append(loc.workers, &Worker{
+				loc:      loc,
+				ID:       w,
+				GlobalID: gid,
+				rng:      rand.New(rand.NewSource(cfg.Seed + int64(gid)*7919 + 1)),
+			})
+			gid++
+		}
+		rt.locs = append(rt.locs, loc)
+	}
+	return rt
+}
+
+// Localities returns the number of localities.
+func (rt *Runtime) Localities() int { return len(rt.locs) }
+
+// Workers returns the number of workers per locality.
+func (rt *Runtime) Workers() int { return rt.cfg.Workers }
+
+// TotalWorkers returns the total scheduler thread count n.
+func (rt *Runtime) TotalWorkers() int { return len(rt.locs) * rt.cfg.Workers }
+
+// Locality returns locality l.
+func (rt *Runtime) Locality(l int) *Locality { return rt.locs[l] }
+
+// Locality returns the worker's locality.
+func (w *Worker) Locality() *Locality { return w.loc }
+
+// Rank returns the locality rank the worker belongs to.
+func (w *Worker) Rank() int { return w.loc.Rank }
+
+// Runtime returns the owning runtime.
+func (l *Locality) Runtime() *Runtime { return l.rt }
+
+// push adds a task to the worker's own deque.
+func (w *Worker) push(t Task) {
+	w.mu.Lock()
+	w.deque = append(w.deque, t)
+	w.mu.Unlock()
+}
+
+// pushHigh adds a task to the worker's priority deque.
+func (w *Worker) pushHigh(t Task) {
+	w.mu.Lock()
+	w.high = append(w.high, t)
+	w.mu.Unlock()
+}
+
+// pop removes the most recently pushed task (LIFO: cache locality, as in
+// HPX-5's default scheduler).
+func (w *Worker) pop() (Task, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n := len(w.high); n > 0 {
+		t := w.high[n-1]
+		w.high[n-1] = nil
+		w.high = w.high[:n-1]
+		return t, true
+	}
+	n := len(w.deque)
+	if n == 0 {
+		return nil, false
+	}
+	t := w.deque[n-1]
+	w.deque[n-1] = nil
+	w.deque = w.deque[:n-1]
+	return t, true
+}
+
+// steal removes the oldest task (FIFO end), used by thieves.
+func (w *Worker) steal() (Task, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.high) > 0 {
+		t := w.high[0]
+		w.high[0] = nil
+		w.high = w.high[1:]
+		return t, true
+	}
+	if len(w.deque) == 0 {
+		return nil, false
+	}
+	t := w.deque[0]
+	w.deque[0] = nil
+	w.deque = w.deque[1:]
+	return t, true
+}
+
+// Spawn schedules a task on the worker's own locality (its own deque).
+func (w *Worker) Spawn(t Task) {
+	w.loc.rt.pending.Add(1)
+	w.push(t)
+}
+
+// SpawnHigh schedules a priority task: it runs before any normal task of
+// its worker and is preferred by thieves.
+func (w *Worker) SpawnHigh(t Task) {
+	w.loc.rt.pending.Add(1)
+	w.pushHigh(t)
+}
+
+// Spawn schedules a task on the locality, round-robin across its workers.
+// It is the entry point for work arriving from outside any worker (initial
+// tasks, parcel delivery).
+func (l *Locality) Spawn(t Task) {
+	l.rt.pending.Add(1)
+	i := int(l.spawnRR.Add(1)-1) % len(l.workers)
+	l.workers[i].push(t)
+}
+
+// SpawnHigh is the priority variant of Spawn.
+func (l *Locality) SpawnHigh(t Task) {
+	l.rt.pending.Add(1)
+	i := int(l.spawnRR.Add(1)-1) % len(l.workers)
+	l.workers[i].pushHigh(t)
+}
+
+// SendParcel sends an active-message parcel of the given payload size to
+// the destination locality, where action runs as a lightweight thread.
+// Sending to the local rank is a plain spawn (no network accounting), which
+// is how HPX-5 abstracts shared- vs distributed-memory execution.
+func (w *Worker) SendParcel(dest int, bytes int, action Task) {
+	rt := w.loc.rt
+	if dest == w.loc.Rank {
+		w.Spawn(action)
+		return
+	}
+	rt.parcelsSent.Add(1)
+	rt.parcelBytes.Add(int64(bytes))
+	if rt.cfg.Latency > 0 {
+		rt.pending.Add(1)
+		time.AfterFunc(rt.cfg.Latency, func() {
+			rt.locs[dest].Spawn(action)
+			rt.finish()
+		})
+		return
+	}
+	rt.locs[dest].Spawn(action)
+}
+
+// finish marks one pending unit complete.
+func (rt *Runtime) finish() {
+	if rt.pending.Add(-1) == 0 {
+		rt.doneOnce.Do(func() { close(rt.done) })
+	}
+}
+
+// Run seeds the runtime by calling setup on locality 0 (outside any worker)
+// and blocks until all spawned work has drained. It returns basic execution
+// statistics. A Runtime is single-shot: create a new one for each run.
+func (rt *Runtime) Run(setup func()) Stats {
+	// Guard against an immediate empty run.
+	rt.pending.Add(1)
+	setup()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, loc := range rt.locs {
+		for _, w := range loc.workers {
+			wg.Add(1)
+			go func(w *Worker) {
+				defer wg.Done()
+				w.run(stop)
+			}(w)
+		}
+	}
+	rt.finish() // release the setup guard
+	<-rt.done
+	close(stop)
+	wg.Wait()
+	return Stats{
+		TasksRun:     rt.tasksRun.Load(),
+		ParcelsSent:  rt.parcelsSent.Load(),
+		ParcelBytes:  rt.parcelBytes.Load(),
+		Steals:       rt.stealsOK.Load(),
+		FailedSteals: rt.stealsFailed.Load(),
+	}
+}
+
+// run is the worker scheduling loop: own deque first (LIFO), then random
+// victims within the locality (the paper's "local randomized
+// workstealing"), then a brief backoff.
+func (w *Worker) run(stop <-chan struct{}) {
+	rt := w.loc.rt
+	backoff := time.Microsecond
+	for {
+		if t, ok := w.pop(); ok {
+			w.execute(t)
+			backoff = time.Microsecond
+			continue
+		}
+		if t, ok := w.trySteal(); ok {
+			rt.stealsOK.Add(1)
+			w.execute(t)
+			backoff = time.Microsecond
+			continue
+		}
+		rt.stealsFailed.Add(1)
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		time.Sleep(backoff)
+		if backoff < 64*time.Microsecond {
+			backoff *= 2
+		}
+	}
+}
+
+func (w *Worker) execute(t Task) {
+	rt := w.loc.rt
+	rt.tasksRun.Add(1)
+	t(w)
+	rt.finish()
+}
+
+// trySteal attempts to steal from a random co-located victim.
+func (w *Worker) trySteal() (Task, bool) {
+	ws := w.loc.workers
+	if len(ws) == 1 {
+		return nil, false
+	}
+	start := w.rng.Intn(len(ws))
+	for i := 0; i < len(ws); i++ {
+		v := ws[(start+i)%len(ws)]
+		if v == w {
+			continue
+		}
+		if t, ok := v.steal(); ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// Stats reports what the runtime did during Run.
+type Stats struct {
+	TasksRun     int64
+	ParcelsSent  int64
+	ParcelBytes  int64
+	Steals       int64
+	FailedSteals int64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("tasks=%d parcels=%d parcelBytes=%d steals=%d failedSteals=%d",
+		s.TasksRun, s.ParcelsSent, s.ParcelBytes, s.Steals, s.FailedSteals)
+}

@@ -1,0 +1,274 @@
+package amt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunDrainsAllTasks(t *testing.T) {
+	rt := New(Config{Localities: 2, Workers: 3})
+	var count atomic.Int64
+	stats := rt.Run(func() {
+		for l := 0; l < 2; l++ {
+			loc := rt.Locality(l)
+			for i := 0; i < 100; i++ {
+				loc.Spawn(func(w *Worker) { count.Add(1) })
+			}
+		}
+	})
+	if count.Load() != 200 {
+		t.Fatalf("ran %d of 200 tasks", count.Load())
+	}
+	if stats.TasksRun != 200 {
+		t.Fatalf("stats report %d tasks", stats.TasksRun)
+	}
+}
+
+func TestNestedSpawns(t *testing.T) {
+	rt := New(Config{Localities: 1, Workers: 4})
+	var count atomic.Int64
+	rt.Run(func() {
+		rt.Locality(0).Spawn(func(w *Worker) {
+			// A task tree of depth 10, fanout 2.
+			var rec func(d int) Task
+			rec = func(d int) Task {
+				return func(w *Worker) {
+					count.Add(1)
+					if d > 0 {
+						w.Spawn(rec(d - 1))
+						w.Spawn(rec(d - 1))
+					}
+				}
+			}
+			rec(9)(w)
+		})
+	})
+	if count.Load() != 1<<10-1 {
+		t.Fatalf("count = %d, want %d", count.Load(), 1<<10-1)
+	}
+}
+
+func TestParcelCrossLocality(t *testing.T) {
+	rt := New(Config{Localities: 4, Workers: 2})
+	var delivered atomic.Int64
+	ranks := make(chan int, 64)
+	stats := rt.Run(func() {
+		rt.Locality(0).Spawn(func(w *Worker) {
+			for dest := 0; dest < 4; dest++ {
+				d := dest
+				w.SendParcel(d, 1000, func(w2 *Worker) {
+					delivered.Add(1)
+					ranks <- w2.Rank()
+				})
+			}
+		})
+	})
+	close(ranks)
+	if delivered.Load() != 4 {
+		t.Fatalf("delivered %d of 4 parcels", delivered.Load())
+	}
+	seen := map[int]bool{}
+	for r := range ranks {
+		seen[r] = true
+	}
+	for dest := 0; dest < 4; dest++ {
+		if !seen[dest] {
+			t.Errorf("parcel to locality %d executed elsewhere", dest)
+		}
+	}
+	// Local sends are not parcels: 3 remote sends.
+	if stats.ParcelsSent != 3 {
+		t.Errorf("parcelsSent = %d, want 3 (local delivery is not a parcel)", stats.ParcelsSent)
+	}
+	if stats.ParcelBytes != 3000 {
+		t.Errorf("parcelBytes = %d, want 3000", stats.ParcelBytes)
+	}
+}
+
+func TestParcelLatency(t *testing.T) {
+	rt := New(Config{Localities: 2, Workers: 1, Latency: 5 * time.Millisecond})
+	start := time.Now()
+	var when time.Duration
+	rt.Run(func() {
+		rt.Locality(0).Spawn(func(w *Worker) {
+			w.SendParcel(1, 10, func(w2 *Worker) { when = time.Since(start) })
+		})
+	})
+	if when < 5*time.Millisecond {
+		t.Errorf("parcel delivered after %v, want >= 5ms", when)
+	}
+}
+
+func TestLCOTriggersOnceAllInputsArrive(t *testing.T) {
+	rt := New(Config{Localities: 1, Workers: 4})
+	var sum atomic.Int64
+	var fired atomic.Int64
+	rt.Run(func() {
+		loc := rt.Locality(0)
+		lco := NewLCO(loc, 10)
+		lco.Register(func(w *Worker) { fired.Add(1) })
+		for i := 1; i <= 10; i++ {
+			v := int64(i)
+			loc.Spawn(func(w *Worker) {
+				lco.Input(func() { sum.Add(v) })
+			})
+		}
+	})
+	if fired.Load() != 1 {
+		t.Fatalf("LCO fired %d times", fired.Load())
+	}
+	if sum.Load() != 55 {
+		t.Fatalf("reduction sum %d, want 55", sum.Load())
+	}
+}
+
+func TestLCOLateRegistration(t *testing.T) {
+	rt := New(Config{Localities: 1, Workers: 2})
+	var ran atomic.Bool
+	rt.Run(func() {
+		loc := rt.Locality(0)
+		lco := NewLCO(loc, 1)
+		lco.Input(nil)
+		if !lco.Triggered() {
+			t.Error("LCO not triggered after final input")
+		}
+		// Registration after the trigger must still run.
+		loc.Spawn(func(w *Worker) {
+			lco.Register(func(w *Worker) { ran.Store(true) })
+		})
+	})
+	if !ran.Load() {
+		t.Fatal("late-registered continuation did not run")
+	}
+}
+
+func TestFuture(t *testing.T) {
+	rt := New(Config{Localities: 2, Workers: 1})
+	got := make(chan any, 1)
+	rt.Run(func() {
+		f := NewFuture(rt.Locality(1))
+		f.Then(func(w *Worker, v any) {
+			if w.Rank() != 1 {
+				t.Errorf("future continuation ran on rank %d", w.Rank())
+			}
+			got <- v
+		})
+		rt.Locality(0).Spawn(func(w *Worker) { f.Set("hello") })
+	})
+	if v := <-got; v != "hello" {
+		t.Fatalf("future value %v", v)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	rt := New(Config{Localities: 1, Workers: 3})
+	got := make(chan float64, 1)
+	rt.Run(func() {
+		loc := rt.Locality(0)
+		r := NewReduction(loc, 5, 0, func(a, b float64) float64 { return a + b })
+		r.Then(func(w *Worker, v float64) { got <- v })
+		for i := 1; i <= 5; i++ {
+			v := float64(i)
+			loc.Spawn(func(w *Worker) { r.Input(v) })
+		}
+	})
+	if v := <-got; v != 15 {
+		t.Fatalf("reduction = %v, want 15", v)
+	}
+}
+
+func TestWorkStealingSpreadsLoad(t *testing.T) {
+	// One worker receives all spawns; with stealing, others must run some.
+	rt := New(Config{Localities: 1, Workers: 4})
+	var perWorker [4]atomic.Int64
+	rt.Run(func() {
+		loc := rt.Locality(0)
+		loc.Spawn(func(w *Worker) {
+			for i := 0; i < 400; i++ {
+				w.Spawn(func(w2 *Worker) {
+					perWorker[w2.ID].Add(1)
+					time.Sleep(100 * time.Microsecond)
+				})
+			}
+		})
+	})
+	others := int64(0)
+	for i := 1; i < 4; i++ {
+		others += perWorker[i].Load()
+	}
+	if others == 0 {
+		t.Error("no tasks were stolen by idle workers")
+	}
+}
+
+func TestDeterministicSeeding(t *testing.T) {
+	// Two runtimes with the same seed produce workers with identical RNG
+	// streams (scheduling itself is still timing-dependent, but the steal
+	// order source is reproducible).
+	a := New(Config{Localities: 1, Workers: 2, Seed: 42})
+	b := New(Config{Localities: 1, Workers: 2, Seed: 42})
+	for i := 0; i < 2; i++ {
+		wa := a.Locality(0).workers[i]
+		wb := b.Locality(0).workers[i]
+		for j := 0; j < 10; j++ {
+			if wa.rng.Int63() != wb.rng.Int63() {
+				t.Fatal("worker RNGs differ for equal seeds")
+			}
+		}
+	}
+}
+
+func TestPriorityTasksRunFirst(t *testing.T) {
+	// One worker; queue low tasks then high tasks before releasing the
+	// worker: the high tasks must all run before any low task.
+	rt := New(Config{Localities: 1, Workers: 1})
+	var order []string
+	var mu sync.Mutex
+	rt.Run(func() {
+		loc := rt.Locality(0)
+		loc.Spawn(func(w *Worker) {
+			for i := 0; i < 5; i++ {
+				w.Spawn(func(w2 *Worker) {
+					mu.Lock()
+					order = append(order, "low")
+					mu.Unlock()
+				})
+			}
+			for i := 0; i < 5; i++ {
+				w.SpawnHigh(func(w2 *Worker) {
+					mu.Lock()
+					order = append(order, "high")
+					mu.Unlock()
+				})
+			}
+		})
+	})
+	if len(order) != 10 {
+		t.Fatalf("ran %d of 10 tasks", len(order))
+	}
+	for i := 0; i < 5; i++ {
+		if order[i] != "high" {
+			t.Fatalf("task %d was %q; priority tasks must run first: %v", i, order[i], order)
+		}
+	}
+}
+
+func TestPriorityTasksStolenFirst(t *testing.T) {
+	rt := New(Config{Localities: 1, Workers: 2})
+	var first atomic.Value
+	rt.Run(func() {
+		loc := rt.Locality(0)
+		loc.Spawn(func(w *Worker) {
+			// Fill this worker's queues; the idle second worker steals and
+			// must grab the high task first.
+			w.Spawn(func(w2 *Worker) { first.CompareAndSwap(nil, "low") })
+			w.SpawnHigh(func(w2 *Worker) { first.CompareAndSwap(nil, "high") })
+			time.Sleep(2 * time.Millisecond) // hold the owner busy
+		})
+	})
+	if v := first.Load(); v != "high" {
+		t.Errorf("first stolen task was %v, want high", v)
+	}
+}

@@ -1,0 +1,126 @@
+package amt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// The HPX-5 global address space (paper, Section III): a global shared
+// memory abstraction over the localities. Allocation is performed through
+// dynamic allocators (individual or block-cyclic), access goes through an
+// asynchronous memput/memget API with modeled network accounting, and raw
+// global addresses serve as targets for parcels. Within this in-process
+// runtime a block is a byte slice owned by one locality; remote access
+// costs a parcel, local access is direct — the same shared/distributed
+// abstraction HPX-5 provides.
+
+// GlobalAddr names a block of global memory: the owning locality and a
+// runtime-unique block id.
+type GlobalAddr struct {
+	Locality int32
+	Block    uint32
+}
+
+func (a GlobalAddr) String() string { return fmt.Sprintf("gas://%d/%d", a.Locality, a.Block) }
+
+// gas is the per-runtime global address space state.
+type gas struct {
+	mu     sync.Mutex
+	blocks map[GlobalAddr][]byte
+	next   atomic.Uint32
+}
+
+func (rt *Runtime) gasInit() {
+	if rt.mem == nil {
+		rt.mem = &gas{blocks: make(map[GlobalAddr][]byte)}
+	}
+}
+
+// Alloc allocates one block of the given size owned by locality loc.
+func (rt *Runtime) Alloc(loc int, size int) GlobalAddr {
+	rt.gasInit()
+	a := GlobalAddr{Locality: int32(loc), Block: rt.mem.next.Add(1)}
+	rt.mem.mu.Lock()
+	rt.mem.blocks[a] = make([]byte, size)
+	rt.mem.mu.Unlock()
+	return a
+}
+
+// AllocCyclic allocates n blocks of the given size distributed round-robin
+// across the localities (the HPX-5 block-cyclic allocator).
+func (rt *Runtime) AllocCyclic(n, size int) []GlobalAddr {
+	out := make([]GlobalAddr, n)
+	for i := range out {
+		out[i] = rt.Alloc(i%len(rt.locs), size)
+	}
+	return out
+}
+
+// Free releases a block.
+func (rt *Runtime) Free(a GlobalAddr) {
+	rt.gasInit()
+	rt.mem.mu.Lock()
+	delete(rt.mem.blocks, a)
+	rt.mem.mu.Unlock()
+}
+
+// TryPin resolves a global address to the local virtual alias of its block,
+// as HPX-5's explicit address translation does. It fails if the block lives
+// on another locality (translation is only valid on the owner).
+func (w *Worker) TryPin(a GlobalAddr) ([]byte, bool) {
+	if int32(w.Rank()) != a.Locality {
+		return nil, false
+	}
+	rt := w.loc.rt
+	rt.gasInit()
+	rt.mem.mu.Lock()
+	b, ok := rt.mem.blocks[a]
+	rt.mem.mu.Unlock()
+	return b, ok
+}
+
+// Memput asynchronously copies data into the block at a; done (which may be
+// nil) runs at the destination locality after the write. Remote writes are
+// accounted as parcels.
+func (w *Worker) Memput(a GlobalAddr, offset int, data []byte, done Task) {
+	payload := append([]byte(nil), data...)
+	action := func(w2 *Worker) {
+		rt := w2.loc.rt
+		rt.mem.mu.Lock()
+		b, ok := rt.mem.blocks[a]
+		if ok {
+			copy(b[offset:], payload)
+		}
+		rt.mem.mu.Unlock()
+		if !ok {
+			panic("amt: memput to freed block " + a.String())
+		}
+		if done != nil {
+			done(w2)
+		}
+	}
+	w.loc.rt.gasInit()
+	w.SendParcel(int(a.Locality), len(data), action)
+}
+
+// Memget asynchronously reads size bytes at offset from the block at a and
+// delivers them to the continuation on the caller's locality.
+func (w *Worker) Memget(a GlobalAddr, offset, size int, cont func(w *Worker, data []byte)) {
+	home := w.loc.Rank
+	w.loc.rt.gasInit()
+	w.SendParcel(int(a.Locality), 16, func(w2 *Worker) {
+		rt := w2.loc.rt
+		rt.mem.mu.Lock()
+		b, ok := rt.mem.blocks[a]
+		var out []byte
+		if ok {
+			out = append([]byte(nil), b[offset:offset+size]...)
+		}
+		rt.mem.mu.Unlock()
+		if !ok {
+			panic("amt: memget from freed block " + a.String())
+		}
+		w2.SendParcel(home, size, func(w3 *Worker) { cont(w3, out) })
+	})
+}

@@ -1,0 +1,85 @@
+package amt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGASLocalPinAndRemoteDenied(t *testing.T) {
+	rt := New(Config{Localities: 2, Workers: 1})
+	a := rt.Alloc(1, 64)
+	rt.Run(func() {
+		rt.Locality(0).Spawn(func(w *Worker) {
+			if _, ok := w.TryPin(a); ok {
+				t.Error("pinned a remote block")
+			}
+		})
+		rt.Locality(1).Spawn(func(w *Worker) {
+			b, ok := w.TryPin(a)
+			if !ok || len(b) != 64 {
+				t.Error("owner failed to pin its block")
+			}
+		})
+	})
+}
+
+func TestGASMemputMemgetRoundTrip(t *testing.T) {
+	rt := New(Config{Localities: 3, Workers: 2})
+	a := rt.Alloc(2, 32)
+	want := []byte("hello, global address space!")
+	var got []byte
+	stats := rt.Run(func() {
+		rt.Locality(0).Spawn(func(w *Worker) {
+			w.Memput(a, 0, want, func(w2 *Worker) {
+				if w2.Rank() != 2 {
+					t.Errorf("memput continuation on rank %d", w2.Rank())
+				}
+				w2.Memget(a, 0, len(want), func(w3 *Worker, data []byte) {
+					if w3.Rank() != 2 {
+						// The continuation must come home to the getter's
+						// locality (rank 2 issued the get).
+						t.Errorf("memget continuation on rank %d", w3.Rank())
+					}
+					got = data
+				})
+			})
+		})
+	})
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q want %q", got, want)
+	}
+	if stats.ParcelsSent == 0 {
+		t.Error("remote memput/memget sent no parcels")
+	}
+}
+
+func TestGASAllocCyclic(t *testing.T) {
+	rt := New(Config{Localities: 4, Workers: 1})
+	addrs := rt.AllocCyclic(8, 16)
+	for i, a := range addrs {
+		if int(a.Locality) != i%4 {
+			t.Errorf("block %d on locality %d, want %d", i, a.Locality, i%4)
+		}
+	}
+	// Distinct blocks.
+	seen := map[GlobalAddr]bool{}
+	for _, a := range addrs {
+		if seen[a] {
+			t.Fatal("duplicate address")
+		}
+		seen[a] = true
+	}
+}
+
+func TestGASFree(t *testing.T) {
+	rt := New(Config{Localities: 1, Workers: 1})
+	a := rt.Alloc(0, 8)
+	rt.Free(a)
+	rt.Run(func() {
+		rt.Locality(0).Spawn(func(w *Worker) {
+			if _, ok := w.TryPin(a); ok {
+				t.Error("pinned a freed block")
+			}
+		})
+	})
+}

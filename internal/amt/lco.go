@@ -1,0 +1,137 @@
+package amt
+
+import "sync"
+
+// LCO is a local control object (paper, Section III): an event-driven
+// synchronization object with input slots, a predicate that decides when it
+// has been triggered (here: an input count, the reduction style DASHMM
+// uses), and continuations executed as lightweight threads once triggered.
+//
+// The payload reduction itself is performed by the caller inside Input's
+// critical section via the reduce callback, mirroring the DASHMM custom LCO
+// that "continuously reduce[s] input data into the stored expansion data".
+type LCO struct {
+	mu        sync.Mutex
+	needed    int
+	arrived   int
+	triggered bool
+	conts     []Task
+	home      *Locality
+}
+
+// NewLCO creates an LCO expecting `inputs` inputs, homed on the given
+// locality (where its continuations will execute).
+func NewLCO(home *Locality, inputs int) *LCO {
+	return &LCO{needed: inputs, home: home}
+}
+
+// Home returns the locality owning the LCO.
+func (l *LCO) Home() *Locality { return l.home }
+
+// Register adds a continuation to run once the LCO triggers. If the LCO has
+// already triggered the continuation is spawned immediately (HPX-5
+// semantics for late registration).
+func (l *LCO) Register(t Task) {
+	l.mu.Lock()
+	if l.triggered {
+		l.mu.Unlock()
+		l.home.Spawn(t)
+		return
+	}
+	l.conts = append(l.conts, t)
+	l.mu.Unlock()
+}
+
+// Input delivers one input: reduce runs under the LCO lock (serializing
+// concurrent reductions into the payload), and if this was the last
+// expected input the LCO triggers, spawning every registered continuation
+// on the home locality.
+func (l *LCO) Input(reduce func()) {
+	l.mu.Lock()
+	if reduce != nil {
+		reduce()
+	}
+	l.arrived++
+	fire := !l.triggered && l.arrived >= l.needed
+	var conts []Task
+	if fire {
+		l.triggered = true
+		conts = l.conts
+		l.conts = nil
+	}
+	l.mu.Unlock()
+	for _, t := range conts {
+		l.home.Spawn(t)
+	}
+}
+
+// Triggered reports whether the LCO has fired.
+func (l *LCO) Triggered() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.triggered
+}
+
+// Future is a single-assignment LCO carrying a value, one of the built-in
+// LCO classes HPX-5 ships (Section III).
+type Future struct {
+	lco LCO
+	val any
+}
+
+// NewFuture creates an unset future homed on the locality.
+func NewFuture(home *Locality) *Future {
+	return &Future{lco: LCO{needed: 1, home: home}}
+}
+
+// Set assigns the value and triggers the future. Setting twice panics.
+func (f *Future) Set(v any) {
+	f.lco.mu.Lock()
+	if f.lco.triggered {
+		f.lco.mu.Unlock()
+		panic("amt: future set twice")
+	}
+	f.val = v
+	f.lco.triggered = true
+	conts := f.lco.conts
+	f.lco.conts = nil
+	f.lco.mu.Unlock()
+	for _, t := range conts {
+		f.lco.home.Spawn(t)
+	}
+}
+
+// Then runs t (receiving the value) once the future is set.
+func (f *Future) Then(t func(w *Worker, v any)) {
+	f.lco.Register(func(w *Worker) { t(w, f.val) })
+}
+
+// Reduction is an LCO that folds inputs with a user operation and exposes
+// the final value, e.g. a sum across contributors (the example in Section
+// III).
+type Reduction struct {
+	lco LCO
+	val float64
+	op  func(acc, in float64) float64
+}
+
+// NewReduction creates a reduction over `inputs` inputs with the given fold
+// and initial value.
+func NewReduction(home *Locality, inputs int, init float64, op func(acc, in float64) float64) *Reduction {
+	return &Reduction{lco: LCO{needed: inputs, home: home}, val: init, op: op}
+}
+
+// Input folds one value into the reduction.
+func (r *Reduction) Input(v float64) {
+	r.lco.Input(func() { r.val = r.op(r.val, v) })
+}
+
+// Then runs t with the final value once all inputs have arrived.
+func (r *Reduction) Then(t func(w *Worker, v float64)) {
+	r.lco.Register(func(w *Worker) {
+		r.lco.mu.Lock()
+		v := r.val
+		r.lco.mu.Unlock()
+		t(w, v)
+	})
+}

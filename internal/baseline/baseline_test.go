@@ -1,0 +1,49 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/points"
+)
+
+func TestDirectMatchesSingleWorker(t *testing.T) {
+	sp := points.Generate(points.Cube, 500, 1)
+	tp := points.Generate(points.Cube, 400, 2)
+	q := points.Charges(500, 3)
+	k := kernel.NewLaplace(4)
+	a := Direct(k, sp, q, tp, 1)
+	b := Direct(k, sp, q, tp, 7)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12*math.Abs(a[i]) {
+			t.Fatalf("worker-count dependence at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDirectSampleAgreesWithDirect(t *testing.T) {
+	sp := points.Generate(points.Sphere, 300, 4)
+	tp := points.Generate(points.Sphere, 300, 5)
+	q := points.Charges(300, 6)
+	k := kernel.NewYukawa(4, 2.0)
+	full := Direct(k, sp, q, tp, 4)
+	sample := DirectSample(k, sp, q, tp, []int{0, 17, 99, 299})
+	for i, v := range sample {
+		if math.Abs(full[i]-v) > 1e-12*math.Max(1, math.Abs(v)) {
+			t.Errorf("index %d: %v vs %v", i, full[i], v)
+		}
+	}
+}
+
+func TestDirectSelfInteractionExcluded(t *testing.T) {
+	pts := points.Generate(points.Cube, 100, 7)
+	q := points.UnitCharges(100)
+	k := kernel.NewLaplace(4)
+	pot := Direct(k, pts, q, pts, 3)
+	for i, v := range pot {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("self-interaction leaked at %d: %v", i, v)
+		}
+	}
+}

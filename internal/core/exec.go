@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/amt"
+	"repro/internal/dag"
+	"repro/internal/dist"
+	"repro/internal/geom"
+	"repro/internal/trace"
+)
+
+// ExecOptions configures a parallel evaluation on the AMT runtime.
+type ExecOptions struct {
+	// Localities and Workers shape the runtime (defaults 1 and 1).
+	Localities int
+	Workers    int
+	// Policy places the implicit DAG (default dist.MinComm, the paper's
+	// policy).
+	Policy dist.Policy
+	// Tracer, if non-nil, records one event per operator application for
+	// the utilization analysis.
+	Tracer *trace.Tracer
+	// Latency is injected per remote parcel.
+	Latency time.Duration
+	// Seed makes the scheduler's steal order reproducible.
+	Seed int64
+	// Priority enables the binary priority hints the paper proposes in
+	// Section VI: tasks of the upward source-tree sweep (S and M nodes) run
+	// before everything else, pulling the critical path forward.
+	Priority bool
+	// Gradient also computes the potential gradient at every target;
+	// retrieve it with EvaluateGrad.
+	Gradient bool
+}
+
+// ExecReport describes one parallel evaluation.
+type ExecReport struct {
+	// Gradients holds the per-target potential gradient when
+	// ExecOptions.Gradient was set (nil otherwise), in the caller's target
+	// order.
+	Gradients   []geom.Point
+	Runtime     amt.Stats
+	Elapsed     time.Duration
+	RemoteBytes int64
+	RemoteEdges int64
+	Localities  int
+	Workers     int
+}
+
+// parcelOverhead is the per-edge descriptor cost added to a coalesced
+// parcel (operation type + target global address), as in Section IV.
+const parcelOverhead = 16
+
+// Evaluate runs the DAG on the AMT runtime: every expansion node becomes a
+// custom LCO holding its payload and out-edge list; the last arriving input
+// triggers a continuation that processes the out edges — local edges
+// sequentially (the paper's cache-locality choice), remote edges coalesced
+// into one parcel per destination locality carrying the expansion data and
+// the relevant edges.
+func (p *Plan) Evaluate(charges []float64, opts ExecOptions) ([]float64, ExecReport, error) {
+	if opts.Localities <= 0 {
+		opts.Localities = 1
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.Policy == nil {
+		opts.Policy = dist.MinComm{}
+	}
+	st, err := p.newState(charges, opts.Gradient)
+	if err != nil {
+		return nil, ExecReport{}, err
+	}
+	g := p.Graph
+	opts.Policy.Assign(g, opts.Localities)
+
+	rt := amt.New(amt.Config{
+		Localities: opts.Localities,
+		Workers:    opts.Workers,
+		Latency:    opts.Latency,
+		Seed:       opts.Seed,
+	})
+	ex := &executor{
+		st:        st,
+		g:         g,
+		rt:        rt,
+		tracer:    opts.Tracer,
+		priority:  opts.Priority,
+		remaining: make([]atomic.Int32, len(g.Nodes)),
+		locks:     make([]sync.Mutex, len(g.Nodes)),
+	}
+	for i := range g.Nodes {
+		ex.remaining[i].Store(g.Nodes[i].In)
+	}
+
+	start := time.Now()
+	stats := rt.Run(func() {
+		for _, id := range g.Roots() {
+			n := &g.Nodes[id]
+			loc := rt.Locality(int(n.Locality))
+			if ex.isHigh(id) {
+				loc.SpawnHigh(ex.nodeTask(id))
+			} else {
+				loc.Spawn(ex.nodeTask(id))
+			}
+		}
+	})
+	elapsed := time.Since(start)
+
+	// Sanity: every node must have fired.
+	for i := range ex.remaining {
+		if ex.remaining[i].Load() > 0 {
+			return nil, ExecReport{}, fmt.Errorf("core: node %d (%v) never triggered (%d inputs missing)",
+				i, g.Nodes[i].Kind, ex.remaining[i].Load())
+		}
+	}
+	return st.potentials(), ExecReport{
+		Gradients:   st.gradients(),
+		Runtime:     stats,
+		Elapsed:     elapsed,
+		RemoteBytes: dist.RemoteBytes(g),
+		RemoteEdges: dist.RemoteEdges(g),
+		Localities:  opts.Localities,
+		Workers:     opts.Workers,
+	}, nil
+}
+
+// executor is the LCO network of one evaluation.
+type executor struct {
+	st        *state
+	g         *dag.Graph
+	rt        *amt.Runtime
+	tracer    *trace.Tracer
+	priority  bool
+	remaining []atomic.Int32
+	locks     []sync.Mutex
+}
+
+// isHigh reports whether a node's continuation carries the high priority
+// hint: the upward source-tree sweep feeding the critical path.
+func (ex *executor) isHigh(id int32) bool {
+	if !ex.priority {
+		return false
+	}
+	k := ex.g.Nodes[id].Kind
+	return k == dag.NodeS || k == dag.NodeM
+}
+
+// nodeTask returns the continuation of node id: process the out-edge list.
+// It runs once, when the node's LCO triggers (all inputs arrived).
+func (ex *executor) nodeTask(id int32) amt.Task {
+	return func(w *amt.Worker) {
+		n := &ex.g.Nodes[id]
+		myLoc := int32(w.Rank())
+		// Local edges first, sequentially: the large input payload is
+		// reused while hot (Section VI discusses this trade-off).
+		var remote map[int32][]dag.Edge
+		for _, e := range n.Out {
+			dest := ex.g.Nodes[e.To].Locality
+			if dest == myLoc {
+				ex.deliver(w, n, e)
+				continue
+			}
+			if remote == nil {
+				remote = make(map[int32][]dag.Edge)
+			}
+			remote[dest] = append(remote[dest], e)
+		}
+		// One coalesced parcel per destination locality: expansion data +
+		// edge descriptors travel once, the transforms run at the receiver.
+		for dest, edges := range remote {
+			edges := edges
+			bytes := int(n.Bytes) + parcelOverhead*len(edges)
+			w.SendParcel(int(dest), bytes, func(w2 *amt.Worker) {
+				for _, e := range edges {
+					ex.deliver(w2, n, e)
+				}
+			})
+		}
+	}
+}
+
+// deliver applies one edge into its target LCO: the transform plus
+// reduction runs under the target's lock; the final input triggers the
+// target's continuation.
+func (ex *executor) deliver(w *amt.Worker, from *dag.Node, e dag.Edge) {
+	var t0 int64
+	if ex.tracer.Enabled() {
+		t0 = ex.tracer.Now()
+	}
+	ex.locks[e.To].Lock()
+	ex.st.apply(from, e)
+	ex.locks[e.To].Unlock()
+	if ex.tracer.Enabled() {
+		ex.tracer.Record(w.GlobalID, trace.Event{
+			Class:    uint8(e.Op),
+			Worker:   int32(w.GlobalID),
+			Locality: int32(w.Rank()),
+			Start:    t0,
+			End:      ex.tracer.Now(),
+		})
+	}
+	if ex.remaining[e.To].Add(-1) == 0 {
+		to := &ex.g.Nodes[e.To]
+		high := ex.isHigh(to.ID)
+		switch {
+		case int32(w.Rank()) == to.Locality && high:
+			w.SpawnHigh(ex.nodeTask(to.ID))
+		case int32(w.Rank()) == to.Locality:
+			w.Spawn(ex.nodeTask(to.ID))
+		case high:
+			ex.rt.Locality(int(to.Locality)).SpawnHigh(ex.nodeTask(to.ID))
+		default:
+			// The LCO lives on its home locality; its continuation runs
+			// there.
+			ex.rt.Locality(int(to.Locality)).Spawn(ex.nodeTask(to.ID))
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/kernel"
+	"repro/internal/points"
+)
+
+// directGradSample computes reference gradients at sampled targets.
+func directGradSample(k kernel.Kernel, spts []geom.Point, q []float64, tpts []geom.Point, idx []int) map[int]geom.Point {
+	out := make(map[int]geom.Point, len(idx))
+	for _, ti := range idx {
+		t := tpts[ti]
+		var g geom.Point
+		for si, s := range spts {
+			d := t.Sub(s)
+			r := d.Norm()
+			if r == 0 {
+				continue
+			}
+			// Numerically differentiate the pointwise kernel; exact enough
+			// as an independent oracle.
+			h := 1e-7 * r
+			f := q[si] * (k.Direct(t.Add(d.Scale(h/r)), s) - k.Direct(t.Sub(d.Scale(h/r)), s)) / (2 * h)
+			g = g.Add(d.Scale(f / r))
+		}
+		out[ti] = g
+	}
+	return out
+}
+
+func TestGradientEndToEnd(t *testing.T) {
+	const n = 4000
+	p := kernel.OrderForDigits(3)
+	for _, mk := range []func() kernel.Kernel{
+		func() kernel.Kernel { return kernel.NewLaplace(p) },
+		func() kernel.Kernel { return kernel.NewYukawa(p, 4.0) },
+	} {
+		k := mk()
+		sp := points.Generate(points.Cube, n, 81)
+		tp := points.Generate(points.Cube, n, 82)
+		q := points.Charges(n, 83)
+		plan, err := NewPlan(sp, tp, k, Options{Threshold: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pot, grad, err := plan.EvaluateSequentialGrad(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(grad) != n {
+			t.Fatalf("got %d gradients", len(grad))
+		}
+		rng := rand.New(rand.NewSource(84))
+		idx := sampleIdx(rng, n, 25)
+		ref := directGradSample(k, sp, q, tp, idx)
+		var num, den float64
+		for _, i := range idx {
+			if d := grad[i].Sub(ref[i]).Norm(); d > num {
+				num = d
+			}
+			if m := ref[i].Norm(); m > den {
+				den = m
+			}
+		}
+		if num/den > 2e-3 {
+			t.Errorf("%s: gradient rel err %.2e", k.Name(), num/den)
+		}
+		// Potentials from the gradient path must match the plain path.
+		pot2, err := plan.EvaluateSequential(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pot {
+			if math.Abs(pot[i]-pot2[i]) > 1e-12*math.Max(1, math.Abs(pot2[i])) {
+				t.Fatalf("%s: potential drift in gradient path at %d", k.Name(), i)
+			}
+		}
+	}
+}
+
+func TestGradientParallelMatchesSequential(t *testing.T) {
+	const n = 2500
+	sp := points.Generate(points.Cube, n, 85)
+	tp := points.Generate(points.Cube, n, 86)
+	q := points.Charges(n, 87)
+	k := kernel.NewLaplace(6)
+	plan, err := NewPlan(sp, tp, k, Options{Threshold: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want, err := plan.EvaluateSequentialGrad(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := plan.Evaluate(q, ExecOptions{Localities: 2, Workers: 2, Gradient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gradients == nil {
+		t.Fatal("no gradients returned")
+	}
+	var den float64
+	for i := range want {
+		if m := want[i].Norm(); m > den {
+			den = m
+		}
+	}
+	for i := range want {
+		if rep.Gradients[i].Sub(want[i]).Norm()/den > 1e-9 {
+			t.Fatalf("gradient mismatch at %d", i)
+		}
+	}
+}
+
+func TestNewtonThirdLawOnIdenticalEnsembles(t *testing.T) {
+	// For an isolated self-interacting system, internal forces sum to zero
+	// (momentum conservation): sum_i q_i * grad_i = 0 for the symmetric
+	// kernel.
+	const n = 3000
+	pts := points.Generate(points.Plummer, n, 88)
+	q := points.UnitCharges(n)
+	k := kernel.NewLaplace(kernel.OrderForDigits(3))
+	plan, err := NewPlan(pts, pts, k, Options{Threshold: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, grad, err := plan.EvaluateSequentialGrad(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total geom.Point
+	var scale float64
+	for i := range grad {
+		total = total.Add(grad[i].Scale(q[i]))
+		scale += grad[i].Norm()
+	}
+	if total.Norm()/scale > 1e-4 {
+		t.Errorf("net internal force %.2e of total force magnitude", total.Norm()/scale)
+	}
+}
+
+func TestGradientRejectsUnsupportedKernel(t *testing.T) {
+	// All built-in kernels support gradients; the error path is still
+	// exercised through the interface check with a wrapper.
+	const n = 200
+	sp := points.Generate(points.Cube, n, 90)
+	tp := points.Generate(points.Cube, n, 91)
+	plan, err := NewPlan(sp, tp, nonGradKernel{kernel.NewLaplace(4)}, Options{Threshold: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := plan.EvaluateSequentialGrad(points.Charges(n, 92)); err == nil {
+		t.Error("gradient evaluation accepted a kernel without gradient support")
+	}
+}
+
+// nonGradKernel hides the GradKernel methods of the wrapped kernel.
+type nonGradKernel struct{ kernel.Kernel }

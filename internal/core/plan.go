@@ -1,0 +1,386 @@
+// Package core is the DASHMM-style user-facing layer: it assembles the dual
+// tree, the interaction lists and the explicit DAG for a (sources, targets,
+// kernel, method) problem, owns the expansion payloads, and evaluates the
+// DAG either sequentially (reference) or on the AMT runtime (see exec.go).
+//
+// As in the paper, the same Plan can be evaluated many times for different
+// charge inputs, amortizing the setup cost (Section IV: "the FMM is widely
+// used in an iterative procedure where the same DAG is evaluated multiple
+// times").
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/geom"
+	"repro/internal/kernel"
+	"repro/internal/tree"
+)
+
+// Options configures plan construction.
+type Options struct {
+	// Method selects the HMM variant (default: advanced merge-and-shift
+	// FMM).
+	Method dag.Method
+	// Threshold is the tree refinement threshold (default 60, the paper's
+	// setting).
+	Threshold int
+	// Theta is the Barnes–Hut opening angle (default 0.5).
+	Theta float64
+	// TreeWorkers > 1 partitions the ensembles with the paper's parallel
+	// three-step tree construction (coarse sort, concurrent partitioning,
+	// compact stitch) instead of the sequential builder.
+	TreeWorkers int
+}
+
+func (o *Options) withDefaults() Options {
+	v := *o
+	if v.Threshold == 0 {
+		v.Threshold = tree.Threshold
+	}
+	return v
+}
+
+// Plan is a prepared evaluation: trees, lists, explicit DAG and the
+// per-level kernel tables.
+type Plan struct {
+	Kernel kernel.Kernel
+	Source *tree.Tree
+	Target *tree.Tree
+	Lists  []tree.Lists
+	Graph  *dag.Graph
+	opts   Options
+}
+
+// NewPlan partitions the ensembles, computes the dual-tree lists, and builds
+// the explicit DAG.
+func NewPlan(sources, targets []geom.Point, k kernel.Kernel, opts Options) (*Plan, error) {
+	if len(sources) == 0 || len(targets) == 0 {
+		return nil, fmt.Errorf("core: empty ensemble (%d sources, %d targets)", len(sources), len(targets))
+	}
+	o := opts.withDefaults()
+	dom := geom.BoundingCube(sources, targets)
+	var src, tgt *tree.Tree
+	if o.TreeWorkers > 1 {
+		src = tree.BuildParallel(sources, dom, o.Threshold, o.TreeWorkers)
+		tgt = tree.BuildParallel(targets, dom, o.Threshold, o.TreeWorkers)
+	} else {
+		src = tree.Build(sources, dom, o.Threshold)
+		tgt = tree.Build(targets, dom, o.Threshold)
+	}
+	lists := tree.DualLists(tgt, src)
+	maxLevel := src.MaxLevel
+	if tgt.MaxLevel > maxLevel {
+		maxLevel = tgt.MaxLevel
+	}
+	k.Prepare(dom.Side, maxLevel+1)
+	g := dag.Build(dag.Config{Method: o.Method, Theta: o.Theta}, src, tgt, lists, k)
+	return &Plan{Kernel: k, Source: src, Target: tgt, Lists: lists, Graph: g, opts: o}, nil
+}
+
+// state holds the payloads of one evaluation of the DAG.
+type state struct {
+	p *Plan
+	// exp holds the M or L coefficients of NodeM / NodeL nodes.
+	exp [][]complex128
+	// own holds the own-level directional waves of Is / It nodes.
+	own [][geom.NumDirections][]complex128
+	// mrg holds the merged (Is) or shared (It) child-level waves.
+	mrg [][geom.NumDirections][]complex128
+	// q is the source charge vector in tree order.
+	q []float64
+	// pot is the target potential vector in tree order.
+	pot []float64
+	// grad, when non-nil, accumulates the potential gradient per target
+	// point (field/force evaluation).
+	grad []geom.Point
+}
+
+// newState allocates payloads for every node of the graph; withGrad also
+// allocates the gradient accumulators (requires a kernel.GradKernel).
+func (p *Plan) newState(charges []float64, withGrad bool) (*state, error) {
+	if len(charges) != len(p.Source.Pts) {
+		return nil, fmt.Errorf("core: %d charges for %d sources", len(charges), len(p.Source.Pts))
+	}
+	g := p.Graph
+	k := p.Kernel
+	s := &state{
+		p:   p,
+		exp: make([][]complex128, len(g.Nodes)),
+		own: make([][geom.NumDirections][]complex128, len(g.Nodes)),
+		mrg: make([][geom.NumDirections][]complex128, len(g.Nodes)),
+		q:   make([]float64, len(charges)),
+		pot: make([]float64, len(p.Target.Pts)),
+	}
+	if withGrad {
+		if _, ok := k.(kernel.GradKernel); !ok {
+			return nil, fmt.Errorf("core: kernel %s does not support gradients", k.Name())
+		}
+		s.grad = make([]geom.Point, len(p.Target.Pts))
+	}
+	for i, orig := range p.Source.Perm {
+		s.q[i] = charges[orig]
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		switch n.Kind {
+		case dag.NodeM, dag.NodeL:
+			s.exp[i] = make([]complex128, k.MLSize())
+		case dag.NodeIs, dag.NodeIt:
+			lvl := n.Level()
+			if n.OwnMask != 0 {
+				sz := k.ISize(lvl)
+				for d := 0; d < geom.NumDirections; d++ {
+					if n.OwnMask&(1<<uint(d)) != 0 {
+						s.own[i][d] = make([]complex128, sz)
+					}
+				}
+			}
+			if n.MergedMask != 0 {
+				sz := k.ISize(lvl + 1)
+				for d := 0; d < geom.NumDirections; d++ {
+					if n.MergedMask&(1<<uint(d)) != 0 {
+						s.mrg[i][d] = make([]complex128, sz)
+					}
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// reset zeroes all payloads so the state can be reused for another charge
+// vector.
+func (s *state) reset(charges []float64) {
+	for i, orig := range s.p.Source.Perm {
+		s.q[i] = charges[orig]
+	}
+	for i := range s.pot {
+		s.pot[i] = 0
+	}
+	zero := func(v []complex128) {
+		for j := range v {
+			v[j] = 0
+		}
+	}
+	for i := range s.exp {
+		zero(s.exp[i])
+		for d := 0; d < geom.NumDirections; d++ {
+			zero(s.own[i][d])
+			zero(s.mrg[i][d])
+		}
+	}
+}
+
+// potentials un-permutes the tree-ordered potentials back to the caller's
+// target order.
+func (s *state) potentials() []float64 {
+	out := make([]float64, len(s.pot))
+	for i, orig := range s.p.Target.Perm {
+		out[orig] = s.pot[i]
+	}
+	return out
+}
+
+// gradients un-permutes the tree-ordered gradients back to the caller's
+// target order.
+func (s *state) gradients() []geom.Point {
+	if s.grad == nil {
+		return nil
+	}
+	out := make([]geom.Point, len(s.grad))
+	for i, orig := range s.p.Target.Perm {
+		out[orig] = s.grad[i]
+	}
+	return out
+}
+
+// apply executes one DAG edge: it transforms the payload of node `from` and
+// accumulates the result into the payload of edge.To. It is the single
+// definition of operator semantics shared by every executor. Concurrent
+// callers must serialize per destination node (the LCO lock in the runtime
+// executor).
+func (s *state) apply(from *dag.Node, e dag.Edge) {
+	g := s.p.Graph
+	k := s.p.Kernel
+	to := &g.Nodes[e.To]
+	switch e.Op {
+	case dag.OpS2M:
+		b := from.Box
+		k.S2M(b.Center, s.srcPts(b), s.q[b.Lo:b.Hi], s.exp[to.ID])
+	case dag.OpM2M:
+		k.M2M(from.Box.Center, to.Box.Center, from.Box.Side, s.exp[from.ID], s.exp[to.ID])
+	case dag.OpM2L:
+		k.M2L(from.Box.Center, to.Box.Center, from.Box.Side, s.exp[from.ID], s.exp[to.ID])
+	case dag.OpL2L:
+		k.L2L(from.Box.Center, to.Box.Center, to.Box.Side, s.exp[from.ID], s.exp[to.ID])
+	case dag.OpL2T:
+		b := to.Box
+		if s.grad != nil {
+			k.(kernel.GradKernel).L2TGrad(from.Box.Center, s.exp[from.ID], s.tgtPts(b),
+				s.pot[b.Lo:b.Hi], s.grad[b.Lo:b.Hi])
+			return
+		}
+		k.L2T(from.Box.Center, s.exp[from.ID], s.tgtPts(b), s.pot[b.Lo:b.Hi])
+	case dag.OpM2T:
+		b := to.Box
+		if s.grad != nil {
+			k.(kernel.GradKernel).M2TGrad(from.Box.Center, s.exp[from.ID], s.tgtPts(b),
+				s.pot[b.Lo:b.Hi], s.grad[b.Lo:b.Hi])
+			return
+		}
+		k.M2T(from.Box.Center, s.exp[from.ID], s.tgtPts(b), s.pot[b.Lo:b.Hi])
+	case dag.OpS2L:
+		b := from.Box
+		k.S2L(to.Box.Center, s.srcPts(b), s.q[b.Lo:b.Hi], s.exp[to.ID])
+	case dag.OpS2T:
+		sb, tb := from.Box, to.Box
+		if s.grad != nil {
+			k.(kernel.GradKernel).S2TGrad(s.srcPts(sb), s.q[sb.Lo:sb.Hi], s.tgtPts(tb),
+				s.pot[tb.Lo:tb.Hi], s.grad[tb.Lo:tb.Hi])
+			return
+		}
+		k.S2T(s.srcPts(sb), s.q[sb.Lo:sb.Hi], s.tgtPts(tb), s.pot[tb.Lo:tb.Hi])
+	case dag.OpM2I:
+		for d := 0; d < geom.NumDirections; d++ {
+			if e.DirMask&(1<<uint(d)) != 0 {
+				k.M2I(geom.Direction(d), from.Level(), s.exp[from.ID], s.own[to.ID][d])
+			}
+		}
+	case dag.OpI2L:
+		for d := 0; d < geom.NumDirections; d++ {
+			if from.OwnMask&(1<<uint(d)) != 0 {
+				k.I2L(geom.Direction(d), from.Level(), s.own[from.ID][d], s.exp[to.ID])
+			}
+		}
+	case dag.OpI2I:
+		s.applyI2I(from, to, e)
+	default:
+		panic("core: unknown op " + e.Op.String())
+	}
+}
+
+// applyI2I handles the four I->I shapes: child-to-parent merge, box-to-box
+// transfer, hoisted transfer into a shared wave, and parent-to-children
+// distribution.
+func (s *state) applyI2I(from, to *dag.Node, e dag.Edge) {
+	k := s.p.Kernel
+	shift := to.Box.Center.Sub(from.Box.Center)
+	if e.DirMask != 0 {
+		// Merge (Is->Is) or distribution (It->It): per-direction, reading
+		// own (merge) or shared (distribution) waves.
+		for d := 0; d < geom.NumDirections; d++ {
+			if e.DirMask&(1<<uint(d)) == 0 {
+				continue
+			}
+			dir := geom.Direction(d)
+			if e.FromMerged {
+				// Distribution: parent's shared (child-level) wave into the
+				// child's own accumulation.
+				k.I2I(dir, to.Level(), shift, s.mrg[from.ID][d], s.own[to.ID][d])
+			} else {
+				// Merge: child's own wave into the parent's merged buffer.
+				k.I2I(dir, from.Level(), shift, s.own[from.ID][d], s.mrg[to.ID][d])
+			}
+		}
+		return
+	}
+	// Transfer (Is->It): one direction.
+	d := int(e.Dir)
+	dir := geom.Direction(d)
+	in := s.own[from.ID][d]
+	lvl := to.Level()
+	if e.FromMerged {
+		in = s.mrg[from.ID][d]
+	}
+	out := s.own[to.ID][d]
+	if e.ToMerged {
+		out = s.mrg[to.ID][d]
+		lvl = to.Level() + 1
+	}
+	k.I2I(dir, lvl, shift, in, out)
+}
+
+func (s *state) srcPts(b *tree.Box) []geom.Point { return s.p.Source.Pts[b.Lo:b.Hi] }
+func (s *state) tgtPts(b *tree.Box) []geom.Point { return s.p.Target.Pts[b.Lo:b.Hi] }
+
+// EvaluateSequential runs the DAG in one goroutine in topological order and
+// returns the potentials in the caller's target order. It is the reference
+// executor used by the correctness tests and by the cost calibration of the
+// simulator.
+func (p *Plan) EvaluateSequential(charges []float64) ([]float64, error) {
+	pot, _, err := p.evalSeq(charges, false)
+	return pot, err
+}
+
+// EvaluateSequentialGrad also computes the potential gradient (field /
+// force) at every target.
+func (p *Plan) EvaluateSequentialGrad(charges []float64) ([]float64, []geom.Point, error) {
+	return p.evalSeq(charges, true)
+}
+
+func (p *Plan) evalSeq(charges []float64, withGrad bool) ([]float64, []geom.Point, error) {
+	st, err := p.newState(charges, withGrad)
+	if err != nil {
+		return nil, nil, err
+	}
+	order := p.Graph.TopoOrder()
+	if len(order) != len(p.Graph.Nodes) {
+		return nil, nil, fmt.Errorf("core: graph is not a DAG")
+	}
+	for _, id := range order {
+		n := &p.Graph.Nodes[id]
+		for _, e := range n.Out {
+			st.apply(n, e)
+		}
+	}
+	return st.potentials(), st.gradients(), nil
+}
+
+// Stats summarizes the plan for diagnostics.
+func (p *Plan) Stats() string {
+	nodes, edges := p.Graph.Census()
+	return fmt.Sprintf("method=%v nodes=%d edges=%d\n%s\n%s",
+		p.Graph.Method, len(p.Graph.Nodes), p.Graph.NumEdges(),
+		dag.FormatNodeCensus(nodes), dag.FormatEdgeCensus(edges, nil))
+}
+
+// Evaluation is a reusable evaluation context over one Plan: the payload
+// buffers are allocated once and reset between runs, serving the paper's
+// iterative use case where the same DAG is evaluated for many charge
+// vectors and the setup cost is amortized (Section IV).
+type Evaluation struct {
+	plan  *Plan
+	st    *state
+	order []int32
+}
+
+// NewEvaluation allocates an evaluation context.
+func (p *Plan) NewEvaluation() (*Evaluation, error) {
+	st, err := p.newState(make([]float64, len(p.Source.Pts)), false)
+	if err != nil {
+		return nil, err
+	}
+	order := p.Graph.TopoOrder()
+	if len(order) != len(p.Graph.Nodes) {
+		return nil, fmt.Errorf("core: graph is not a DAG")
+	}
+	return &Evaluation{plan: p, st: st, order: order}, nil
+}
+
+// Run evaluates the DAG for one charge vector, reusing the context's
+// buffers, and returns the potentials in the caller's target order.
+func (e *Evaluation) Run(charges []float64) ([]float64, error) {
+	if len(charges) != len(e.plan.Source.Pts) {
+		return nil, fmt.Errorf("core: %d charges for %d sources", len(charges), len(e.plan.Source.Pts))
+	}
+	e.st.reset(charges)
+	for _, id := range e.order {
+		n := &e.plan.Graph.Nodes[id]
+		for _, ed := range n.Out {
+			e.st.apply(n, ed)
+		}
+	}
+	return e.st.potentials(), nil
+}

@@ -1,0 +1,561 @@
+package dag
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/geom"
+	"repro/internal/kernel"
+	"repro/internal/tree"
+)
+
+// Per-point payload sizes used for the census (positions + charge for
+// sources; positions + potential + index for targets), mirroring the
+// 32 B/source and 40 B/target granularity visible in Table I.
+const (
+	srcPointBytes = 32
+	tgtPointBytes = 40
+	cplxBytes     = 16
+)
+
+// Build constructs the explicit DAG for one evaluation. lists must be the
+// result of tree.DualLists(tgt, src); it is ignored by the Barnes–Hut
+// method.
+func Build(cfg Config, src, tgt *tree.Tree, lists []tree.Lists, k kernel.Kernel) *Graph {
+	g := &Graph{
+		Method: cfg.Method,
+		Source: src,
+		Target: tgt,
+		Kernel: k,
+		SOf:    fill(len(src.Boxes)),
+		MOf:    fill(len(src.Boxes)),
+		IsOf:   fill(len(src.Boxes)),
+		ItOf:   fill(len(tgt.Boxes)),
+		LOf:    fill(len(tgt.Boxes)),
+		TOf:    fill(len(tgt.Boxes)),
+	}
+	if cfg.Method == BarnesHut {
+		g.buildBarnesHut(cfg)
+		return g
+	}
+	g.buildFMM(cfg, lists)
+	return g
+}
+
+func fill(n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
+// visible reports whether a target box participates in the DAG: boxes below
+// a pruned box are subsumed by the pruned box's terminal evaluation.
+func visible(b *tree.Box) bool {
+	return !(b.Pruned && b.Parent != nil && b.Parent.Pruned)
+}
+
+// terminal reports whether evaluation bottoms out at this target box: a
+// true leaf, or the first pruned box of a pruned subtree.
+func terminal(b *tree.Box) bool {
+	if b.Pruned {
+		return b.Parent == nil || !b.Parent.Pruned
+	}
+	return b.IsLeaf()
+}
+
+func (g *Graph) buildFMM(cfg Config, lists []tree.Lists) {
+	src, tgt, k := g.Source, g.Target, g.Kernel
+	mlBytes := k.MLSize() * cplxBytes
+
+	// Pass 1: mark the source boxes whose multipole expansion is consumed
+	// (list-2 members, list-3 members), then close downward: a needed
+	// parent is assembled from its children.
+	neededM := make([]bool, len(src.Boxes))
+	for _, bt := range tgt.Boxes {
+		if !visible(bt) {
+			continue
+		}
+		ls := &lists[bt.Seq]
+		for _, e := range ls.L2 {
+			neededM[e.Seq] = true
+		}
+		for _, e := range ls.L3 {
+			neededM[e.Seq] = true
+		}
+	}
+	for _, b := range src.Boxes { // BFS: parents first
+		if !neededM[b.Seq] {
+			continue
+		}
+		for _, c := range b.Children {
+			if c != nil {
+				neededM[c.Seq] = true
+			}
+		}
+	}
+
+	// Pass 2: S nodes for every source leaf, M nodes for needed boxes,
+	// S->M and M->M edges.
+	for _, b := range src.Leaves {
+		g.SOf[b.Seq] = g.addNode(NodeS, b, b.NPoints()*srcPointBytes)
+	}
+	for _, b := range src.Boxes {
+		if neededM[b.Seq] {
+			g.MOf[b.Seq] = g.addNode(NodeM, b, mlBytes)
+		}
+	}
+	for _, b := range src.Boxes {
+		mid := g.MOf[b.Seq]
+		if mid < 0 {
+			continue
+		}
+		if b.IsLeaf() {
+			g.addEdge(g.SOf[b.Seq], Edge{To: mid, Op: OpS2M, Dir: -1, Bytes: int32(mlBytes)})
+			continue
+		}
+		for _, c := range b.Children {
+			if c == nil {
+				continue
+			}
+			cid := g.MOf[c.Seq]
+			if cid < 0 {
+				// A needed parent closes over all children.
+				panic("dag: needed M with unneeded child")
+			}
+			g.addEdge(cid, Edge{To: mid, Op: OpM2M, Dir: -1, Bytes: int32(mlBytes)})
+		}
+	}
+
+	// Pass 3 (advanced method): plan the plane-wave pipeline. For each
+	// target box, partition list 2 by direction cone and group each cone's
+	// boxes by source parent. The two halves of the paper's merge-and-shift
+	// then cut the translation count: (merge) a complete sibling group of
+	// sources is routed through the parent's merged wave with one
+	// translation; (shift) a transfer common to every child of a target
+	// parent is delivered once to the parent's shared wave and then
+	// distributed to the children with cheap local shifts.
+	var ownNeed, mergedNeed []uint8
+	var transfers [][]pwTransfer // per target box seq: own-level incoming
+	var shared [][]pwTransfer    // per target box seq: child-level, once for all children
+	if cfg.Method == Advanced {
+		ownNeed = make([]uint8, len(src.Boxes))
+		mergedNeed = make([]uint8, len(src.Boxes))
+		transfers = make([][]pwTransfer, len(tgt.Boxes))
+		shared = make([][]pwTransfer, len(tgt.Boxes))
+		// Raw cone-classified list-2 pairs per target box.
+		pairs := make([][]pwPair, len(tgt.Boxes))
+		for _, bt := range tgt.Boxes {
+			if !visible(bt) {
+				continue
+			}
+			for _, bs := range lists[bt.Seq].L2 {
+				dx, dy, dz := bs.Index.Offset(bt.Index)
+				d, ok := geom.DirectionOf(dx, dy, dz)
+				if !ok {
+					panic("dag: list-2 offset without direction cone")
+				}
+				pairs[bt.Seq] = append(pairs[bt.Seq], pwPair{bs: bs, d: int8(d)})
+			}
+		}
+		// Shift half first (the CGR "Uall" sets): a pair common to every
+		// child of a target parent is delivered once to the parent's shared
+		// wave and distributed with one local shift per child. (Cone
+		// membership of every child is guaranteed because each child
+		// classified the pair into the same direction.)
+		type pkey struct {
+			seq int32
+			d   int8
+		}
+		for _, q := range tgt.Boxes {
+			if q.IsLeaf() || !visible(q) || q.Pruned || q.NChildren < 2 {
+				continue
+			}
+			counts := make(map[pkey]int)
+			for _, c := range q.Children {
+				if c == nil {
+					continue
+				}
+				for _, pr := range pairs[c.Seq] {
+					counts[pkey{int32(pr.bs.Seq), pr.d}]++
+				}
+			}
+			var hoisted []pwPair
+			promoted := make(map[pkey]bool)
+			for _, c := range q.Children {
+				if c == nil {
+					continue
+				}
+				kept := pairs[c.Seq][:0]
+				for _, pr := range pairs[c.Seq] {
+					k := pkey{int32(pr.bs.Seq), pr.d}
+					if counts[k] == q.NChildren {
+						if !promoted[k] {
+							promoted[k] = true
+							hoisted = append(hoisted, pr)
+						}
+						continue
+					}
+					kept = append(kept, pr)
+				}
+				pairs[c.Seq] = kept
+			}
+			shared[q.Seq] = mergeGroups(hoisted)
+		}
+		// Merge half: group each box's residual pairs by (direction,
+		// source parent); complete sibling groups consume the parent's
+		// merged wave with a single translation.
+		for _, bt := range tgt.Boxes {
+			if len(pairs[bt.Seq]) > 0 {
+				transfers[bt.Seq] = mergeGroups(pairs[bt.Seq])
+			}
+		}
+		// Record which outgoing waves each source box must produce.
+		need := func(tr pwTransfer) {
+			if tr.merged {
+				mergedNeed[tr.fromSeq] |= 1 << uint(tr.dir)
+			} else {
+				ownNeed[tr.fromSeq] |= 1 << uint(tr.dir)
+			}
+		}
+		for _, bt := range tgt.Boxes {
+			for _, tr := range transfers[bt.Seq] {
+				need(tr)
+			}
+			for _, tr := range shared[bt.Seq] {
+				need(tr)
+			}
+		}
+		// Children of merge parents must produce the directions being
+		// merged.
+		for _, b := range src.Boxes {
+			if mergedNeed[b.Seq] == 0 {
+				continue
+			}
+			for _, c := range b.Children {
+				if c != nil {
+					ownNeed[c.Seq] |= mergedNeed[b.Seq]
+				}
+			}
+		}
+		// Materialize Is nodes and M->I / merge I->I edges.
+		for _, b := range src.Boxes {
+			own, mrg := ownNeed[b.Seq], mergedNeed[b.Seq]
+			if own == 0 && mrg == 0 {
+				continue
+			}
+			bytes := bits.OnesCount8(own) * k.ISize(b.Level()) * cplxBytes
+			if mrg != 0 {
+				bytes += bits.OnesCount8(mrg) * k.ISize(b.Level()+1) * cplxBytes
+			}
+			g.IsOf[b.Seq] = g.addNode(NodeIs, b, bytes)
+		}
+		for _, b := range src.Boxes {
+			isID := g.IsOf[b.Seq]
+			if isID < 0 {
+				continue
+			}
+			g.node(isID).OwnMask = ownNeed[b.Seq]
+			g.node(isID).MergedMask = mergedNeed[b.Seq]
+			if own := ownNeed[b.Seq]; own != 0 {
+				g.addEdge(g.MOf[b.Seq], Edge{
+					To: isID, Op: OpM2I, Dir: -1, DirMask: own,
+					Bytes: int32(bits.OnesCount8(own) * k.ISize(b.Level()) * cplxBytes),
+				})
+			}
+			if mrg := mergedNeed[b.Seq]; mrg != 0 {
+				for _, c := range b.Children {
+					if c == nil {
+						continue
+					}
+					g.addEdge(g.IsOf[c.Seq], Edge{
+						To: isID, Op: OpI2I, Dir: -1, DirMask: mrg, ToMerged: true,
+						Bytes: int32(bits.OnesCount8(mrg) * k.ISize(c.Level()) * cplxBytes),
+					})
+				}
+			}
+		}
+	}
+
+	// Pass 4: It nodes, transfer and distribution edges; L activity.
+	activeL := make([]bool, len(tgt.Boxes))
+	if cfg.Method == Advanced {
+		// Create It nodes top-down so a parent's shared waves exist before
+		// the children's distribution edges reference them.
+		for _, bt := range tgt.Boxes {
+			if !visible(bt) {
+				continue
+			}
+			var own, shr uint8
+			for _, tr := range transfers[bt.Seq] {
+				own |= 1 << uint(tr.dir)
+			}
+			for _, tr := range shared[bt.Seq] {
+				shr |= 1 << uint(tr.dir)
+			}
+			if bt.Parent != nil {
+				if pid := g.ItOf[bt.Parent.Seq]; pid >= 0 {
+					// Distributed shares arrive into our own-level
+					// accumulation (parent's child-level == our level).
+					own |= g.node(pid).MergedMask
+				}
+			}
+			if own == 0 && shr == 0 {
+				continue
+			}
+			iwOwn := k.ISize(bt.Level()) * cplxBytes
+			bytes := bits.OnesCount8(own) * iwOwn
+			if shr != 0 {
+				bytes += bits.OnesCount8(shr) * k.ISize(bt.Level()+1) * cplxBytes
+			}
+			itID := g.addNode(NodeIt, bt, bytes)
+			g.node(itID).OwnMask = own
+			g.node(itID).MergedMask = shr
+			g.ItOf[bt.Seq] = itID
+		}
+		// Edges into and out of It nodes.
+		for _, bt := range tgt.Boxes {
+			itID := g.ItOf[bt.Seq]
+			if itID < 0 {
+				continue
+			}
+			iwOwn := int32(k.ISize(bt.Level()) * cplxBytes)
+			iwChild := int32(0)
+			if g.node(itID).MergedMask != 0 {
+				iwChild = int32(k.ISize(bt.Level()+1) * cplxBytes)
+			}
+			for _, tr := range transfers[bt.Seq] {
+				g.addEdge(g.IsOf[tr.fromSeq], Edge{
+					To: itID, Op: OpI2I, Dir: tr.dir, FromMerged: tr.merged,
+					Bytes: iwOwn,
+				})
+			}
+			for _, tr := range shared[bt.Seq] {
+				g.addEdge(g.IsOf[tr.fromSeq], Edge{
+					To: itID, Op: OpI2I, Dir: tr.dir, FromMerged: tr.merged,
+					ToMerged: true, Bytes: iwChild,
+				})
+			}
+			// Distribution to children.
+			if shr := g.node(itID).MergedMask; shr != 0 {
+				for _, c := range bt.Children {
+					if c == nil {
+						continue
+					}
+					cid := g.ItOf[c.Seq]
+					if cid < 0 {
+						panic("dag: shared waves with missing child It")
+					}
+					g.addEdge(itID, Edge{
+						To: cid, Op: OpI2I, Dir: -1, DirMask: shr,
+						FromMerged: true, Bytes: iwChild,
+					})
+				}
+			}
+		}
+	}
+	for _, bt := range tgt.Boxes {
+		if !visible(bt) {
+			continue
+		}
+		ls := &lists[bt.Seq]
+		hasInput := len(ls.L4) > 0
+		if itID := g.ItOf[bt.Seq]; itID >= 0 && g.node(itID).OwnMask != 0 {
+			hasInput = true
+		}
+		if cfg.Method == Basic && len(ls.L2) > 0 {
+			hasInput = true
+		}
+		if bt.Parent != nil && activeL[bt.Parent.Seq] {
+			hasInput = true
+		}
+		activeL[bt.Seq] = hasInput
+	}
+
+	// Pass 5: L nodes and the downward edges.
+	mlB := int32(mlBytes)
+	for _, bt := range tgt.Boxes {
+		if visible(bt) && activeL[bt.Seq] {
+			g.LOf[bt.Seq] = g.addNode(NodeL, bt, mlBytes)
+		}
+	}
+	for _, bt := range tgt.Boxes {
+		if !visible(bt) {
+			continue
+		}
+		lid := g.LOf[bt.Seq]
+		if lid < 0 {
+			continue
+		}
+		ls := &lists[bt.Seq]
+		if itID := g.ItOf[bt.Seq]; itID >= 0 && g.node(itID).OwnMask != 0 {
+			g.addEdge(itID, Edge{To: lid, Op: OpI2L, Dir: -1, Bytes: mlB})
+		}
+		if cfg.Method == Basic {
+			for _, bs := range ls.L2 {
+				g.addEdge(g.MOf[bs.Seq], Edge{To: lid, Op: OpM2L, Dir: -1, Bytes: mlB})
+			}
+		}
+		for _, bs := range ls.L4 {
+			g.addEdge(g.SOf[bs.Seq], Edge{
+				To: lid, Op: OpS2L, Dir: -1, Bytes: int32(bs.NPoints() * srcPointBytes),
+			})
+		}
+		if bt.Parent != nil {
+			if pid := g.LOf[bt.Parent.Seq]; pid >= 0 {
+				g.addEdge(pid, Edge{To: lid, Op: OpL2L, Dir: -1, Bytes: mlB})
+			}
+		}
+	}
+
+	// Pass 6: T nodes and the final edges.
+	for _, bt := range tgt.Boxes {
+		if !visible(bt) || !terminal(bt) {
+			continue
+		}
+		tid := g.addNode(NodeT, bt, bt.NPoints()*tgtPointBytes)
+		g.TOf[bt.Seq] = tid
+		ls := &lists[bt.Seq]
+		if lid := g.LOf[bt.Seq]; lid >= 0 {
+			g.addEdge(lid, Edge{To: tid, Op: OpL2T, Dir: -1, Bytes: mlB})
+		}
+		for _, bs := range ls.L3 {
+			g.addEdge(g.MOf[bs.Seq], Edge{To: tid, Op: OpM2T, Dir: -1, Bytes: mlB})
+		}
+		for _, bs := range ls.L1 {
+			g.addEdge(g.SOf[bs.Seq], Edge{
+				To: tid, Op: OpS2T, Dir: -1, Bytes: int32(bs.NPoints() * srcPointBytes),
+			})
+		}
+	}
+}
+
+// buildBarnesHut builds the Barnes–Hut DAG: a multipole acceptance
+// traversal per target leaf producing M->T and S->T edges only.
+func (g *Graph) buildBarnesHut(cfg Config) {
+	src, tgt, k := g.Source, g.Target, g.Kernel
+	theta := cfg.Theta
+	if theta <= 0 {
+		theta = 0.5
+	}
+	mlBytes := k.MLSize() * cplxBytes
+
+	// Traverse once per target leaf to find the accepted set; collect
+	// which M nodes are needed.
+	neededM := make([]bool, len(src.Boxes))
+	type accept struct {
+		box   *tree.Box
+		multi bool // true: M->T; false: S->T
+	}
+	acc := make([][]accept, len(tgt.Leaves))
+	for li, bt := range tgt.Leaves {
+		tr := (math.Sqrt(3) / 2) * bt.Side // target box circumradius
+		var walk func(s *tree.Box)
+		walk = func(s *tree.Box) {
+			d := s.Center.Dist(bt.Center) - tr
+			if d > 0 && s.Side/d <= theta {
+				acc[li] = append(acc[li], accept{box: s, multi: true})
+				neededM[s.Seq] = true
+				return
+			}
+			if s.IsLeaf() {
+				acc[li] = append(acc[li], accept{box: s, multi: false})
+				return
+			}
+			for _, c := range s.Children {
+				if c != nil {
+					walk(c)
+				}
+			}
+		}
+		walk(src.Root)
+	}
+	for _, b := range src.Boxes {
+		if !neededM[b.Seq] {
+			continue
+		}
+		for _, c := range b.Children {
+			if c != nil {
+				neededM[c.Seq] = true
+			}
+		}
+	}
+	for _, b := range src.Leaves {
+		g.SOf[b.Seq] = g.addNode(NodeS, b, b.NPoints()*srcPointBytes)
+	}
+	for _, b := range src.Boxes {
+		if neededM[b.Seq] {
+			g.MOf[b.Seq] = g.addNode(NodeM, b, mlBytes)
+		}
+	}
+	for _, b := range src.Boxes {
+		mid := g.MOf[b.Seq]
+		if mid < 0 {
+			continue
+		}
+		if b.IsLeaf() {
+			g.addEdge(g.SOf[b.Seq], Edge{To: mid, Op: OpS2M, Dir: -1, Bytes: int32(mlBytes)})
+			continue
+		}
+		for _, c := range b.Children {
+			if c != nil {
+				g.addEdge(g.MOf[c.Seq], Edge{To: mid, Op: OpM2M, Dir: -1, Bytes: int32(mlBytes)})
+			}
+		}
+	}
+	for li, bt := range tgt.Leaves {
+		tid := g.addNode(NodeT, bt, bt.NPoints()*tgtPointBytes)
+		g.TOf[bt.Seq] = tid
+		for _, a := range acc[li] {
+			if a.multi {
+				g.addEdge(g.MOf[a.box.Seq], Edge{To: tid, Op: OpM2T, Dir: -1, Bytes: int32(mlBytes)})
+			} else {
+				g.addEdge(g.SOf[a.box.Seq], Edge{
+					To: tid, Op: OpS2T, Dir: -1, Bytes: int32(a.box.NPoints() * srcPointBytes),
+				})
+			}
+		}
+	}
+}
+
+// pwPair is a cone-classified list-2 interaction: source box bs sends its
+// direction-d plane wave to the target under consideration.
+type pwPair struct {
+	bs *tree.Box
+	d  int8
+}
+
+// pwTransfer is a planned I->I translation into a target-side wave: from
+// the source box's own wave, or from its parent's merged child waves.
+type pwTransfer struct {
+	fromSeq int32
+	dir     int8
+	merged  bool
+}
+
+// mergeGroups applies the merge half of merge-and-shift to a set of pairs:
+// pairs grouped by (direction, source parent) that cover every child of the
+// parent are replaced by a single transfer from the parent's merged wave.
+func mergeGroups(prs []pwPair) []pwTransfer {
+	type gkey struct {
+		parentSeq int32
+		d         int8
+	}
+	groups := make(map[gkey][]*tree.Box)
+	for _, pr := range prs {
+		k := gkey{int32(pr.bs.Parent.Seq), pr.d}
+		groups[k] = append(groups[k], pr.bs)
+	}
+	var out []pwTransfer
+	for k, boxes := range groups {
+		if len(boxes) == boxes[0].Parent.NChildren && len(boxes) > 1 {
+			out = append(out, pwTransfer{fromSeq: k.parentSeq, dir: k.d, merged: true})
+			continue
+		}
+		for _, bs := range boxes {
+			out = append(out, pwTransfer{fromSeq: int32(bs.Seq), dir: k.d, merged: false})
+		}
+	}
+	return out
+}

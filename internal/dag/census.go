@@ -1,0 +1,230 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeCensus summarizes one node class as in Table I of the paper: count,
+// payload size range, and in-/out-degree extrema.
+type NodeCensus struct {
+	Kind     NodeKind
+	Count    int64
+	MinBytes int32
+	MaxBytes int32
+	MinIn    int32
+	MaxIn    int32
+	MinOut   int32
+	MaxOut   int32
+}
+
+// EdgeCensus summarizes one operator class as in Table II: count and
+// transferred-size range. The average execution time column is measured by
+// the executor, not here.
+type EdgeCensus struct {
+	Op       OpKind
+	Count    int64
+	MinBytes int32
+	MaxBytes int32
+}
+
+// Census computes the Table I and Table II static structure of the DAG.
+func (g *Graph) Census() ([]NodeCensus, []EdgeCensus) {
+	var nc [NumNodeKinds]NodeCensus
+	for k := range nc {
+		nc[k] = NodeCensus{
+			Kind: NodeKind(k), MinBytes: 1 << 30, MinIn: 1 << 30, MinOut: 1 << 30,
+		}
+	}
+	var ec [NumOpKinds]EdgeCensus
+	for o := range ec {
+		ec[o] = EdgeCensus{Op: OpKind(o), MinBytes: 1 << 30}
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		c := &nc[n.Kind]
+		c.Count++
+		c.MinBytes = min32(c.MinBytes, n.Bytes)
+		c.MaxBytes = max32(c.MaxBytes, n.Bytes)
+		c.MinIn = min32(c.MinIn, n.In)
+		c.MaxIn = max32(c.MaxIn, n.In)
+		c.MinOut = min32(c.MinOut, int32(len(n.Out)))
+		c.MaxOut = max32(c.MaxOut, int32(len(n.Out)))
+		for _, e := range n.Out {
+			x := &ec[e.Op]
+			x.Count++
+			x.MinBytes = min32(x.MinBytes, e.Bytes)
+			x.MaxBytes = max32(x.MaxBytes, e.Bytes)
+		}
+	}
+	var nodes []NodeCensus
+	for _, c := range nc {
+		if c.Count > 0 {
+			nodes = append(nodes, c)
+		}
+	}
+	var edges []EdgeCensus
+	for _, x := range ec {
+		if x.Count > 0 {
+			edges = append(edges, x)
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Op < edges[j].Op })
+	return nodes, edges
+}
+
+// FormatNodeCensus renders the node census as an aligned text table in the
+// layout of Table I.
+func FormatNodeCensus(nodes []NodeCensus) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-4s %12s %16s %8s %8s %8s %8s\n",
+		"Type", "Count", "Size [B]", "din min", "din max", "dout min", "dout max")
+	for _, c := range nodes {
+		size := fmt.Sprintf("%d", c.MinBytes)
+		if c.MaxBytes != c.MinBytes {
+			size = fmt.Sprintf("%d-%d", c.MinBytes, c.MaxBytes)
+		}
+		fmt.Fprintf(&sb, "%-4s %12d %16s %8d %8d %8d %8d\n",
+			c.Kind, c.Count, size, c.MinIn, c.MaxIn, c.MinOut, c.MaxOut)
+	}
+	return sb.String()
+}
+
+// FormatEdgeCensus renders the edge census as an aligned text table in the
+// layout of Table II. avgMicros, if non-nil, supplies the measured average
+// execution time per operator in microseconds.
+func FormatEdgeCensus(edges []EdgeCensus, avgMicros map[OpKind]float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-5s %12s %16s %12s\n", "Type", "Count", "Size [B]", "tavg [µs]")
+	for _, x := range edges {
+		size := fmt.Sprintf("%d", x.MinBytes)
+		if x.MaxBytes != x.MinBytes {
+			size = fmt.Sprintf("%d-%d", x.MinBytes, x.MaxBytes)
+		}
+		t := "-"
+		if avgMicros != nil {
+			if v, ok := avgMicros[x.Op]; ok {
+				t = fmt.Sprintf("%.2f", v)
+			}
+		}
+		fmt.Fprintf(&sb, "%-5s %12d %16s %12s\n", x.Op, x.Count, size, t)
+	}
+	return sb.String()
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Validate checks structural invariants of the DAG and returns an error
+// describing the first violation: edges in range, input counts consistent,
+// acyclicity (via topological sort), and every T reachable.
+func (g *Graph) Validate() error {
+	n := len(g.Nodes)
+	indeg := make([]int32, n)
+	for i := range g.Nodes {
+		for _, e := range g.Nodes[i].Out {
+			if e.To < 0 || int(e.To) >= n {
+				return fmt.Errorf("dag: node %d edge to out-of-range %d", i, e.To)
+			}
+			indeg[e.To]++
+		}
+	}
+	for i := range g.Nodes {
+		if indeg[i] != g.Nodes[i].In {
+			return fmt.Errorf("dag: node %d (%v) In=%d but %d incoming edges",
+				i, g.Nodes[i].Kind, g.Nodes[i].In, indeg[i])
+		}
+	}
+	// Kahn topological sort must consume every node (acyclic).
+	queue := make([]int32, 0, n)
+	deg := append([]int32(nil), indeg...)
+	for i := range g.Nodes {
+		if deg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, e := range g.Nodes[id].Out {
+			deg[e.To]--
+			if deg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if seen != n {
+		return fmt.Errorf("dag: cycle detected (%d of %d nodes sorted)", seen, n)
+	}
+	return nil
+}
+
+// TopoOrder returns a topological ordering of the node ids.
+func (g *Graph) TopoOrder() []int32 {
+	n := len(g.Nodes)
+	deg := make([]int32, n)
+	for i := range g.Nodes {
+		for _, e := range g.Nodes[i].Out {
+			deg[e.To]++
+		}
+	}
+	order := make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+	for i := range g.Nodes {
+		if deg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, id)
+		for _, e := range g.Nodes[id].Out {
+			deg[e.To]--
+			if deg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return order
+}
+
+// CriticalPath returns the length of the longest path through the DAG under
+// the given per-operator cost model (nil means unit cost per edge), along
+// with the total cost of all edges. The ratio bounds achievable speedup and
+// is the quantity the paper's scheduling discussion (Section V-C) is about.
+func (g *Graph) CriticalPath(cost func(OpKind) float64) (critical, total float64) {
+	if cost == nil {
+		cost = func(OpKind) float64 { return 1 }
+	}
+	order := g.TopoOrder()
+	dist := make([]float64, len(g.Nodes))
+	for _, id := range order {
+		d := dist[id]
+		if d > critical {
+			critical = d
+		}
+		for _, e := range g.Nodes[id].Out {
+			c := cost(e.Op)
+			total += c
+			if nd := d + c; nd > dist[e.To] {
+				dist[e.To] = nd
+			}
+		}
+	}
+	return critical, total
+}

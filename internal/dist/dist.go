@@ -1,0 +1,191 @@
+// Package dist implements the distribution policies that place the nodes of
+// the implicit (LCO) DAG onto localities (paper, Section IV). The only hard
+// constraint is the paper's: nodes tied to leaf data — the S and T bundles,
+// the multipole expansion of a source leaf and the local expansion of a
+// target leaf — are fixed to the locality that owns the underlying points
+// (the a-priori coarse block distribution of each ensemble). Everything
+// else is policy.
+package dist
+
+import (
+	"repro/internal/dag"
+	"repro/internal/tree"
+)
+
+// Policy assigns a locality to every node of the graph.
+type Policy interface {
+	Name() string
+	Assign(g *dag.Graph, localities int)
+}
+
+// owner returns the block-distribution owner of a box: points are split
+// into `localities` equal contiguous ranges in tree (Morton-ish) order, and
+// a box belongs to the locality owning its middle point. This matches the
+// paper's "sorted at a coarse level ... then distributed equally across
+// localities".
+func owner(b *tree.Box, total, localities int) int32 {
+	if total == 0 {
+		return 0
+	}
+	mid := (b.Lo + b.Hi) / 2
+	o := mid * localities / total
+	if o >= localities {
+		o = localities - 1
+	}
+	return int32(o)
+}
+
+// Block places every node at the block-distribution owner of its box. It is
+// the straightforward baseline.
+type Block struct{}
+
+// Name implements Policy.
+func (Block) Name() string { return "block" }
+
+// Assign implements Policy.
+func (Block) Assign(g *dag.Graph, localities int) {
+	ns := len(g.Source.Pts)
+	nt := len(g.Target.Pts)
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		switch n.Kind {
+		case dag.NodeS, dag.NodeM, dag.NodeIs:
+			n.Locality = owner(n.Box, ns, localities)
+		default:
+			n.Locality = owner(n.Box, nt, localities)
+		}
+	}
+}
+
+// Cyclic places non-leaf-pinned nodes round-robin, ignoring locality of
+// reference. It is a deliberately bad policy used by the ablation
+// benchmarks to show how much placement matters.
+type Cyclic struct{}
+
+// Name implements Policy.
+func (Cyclic) Name() string { return "cyclic" }
+
+// Assign implements Policy.
+func (Cyclic) Assign(g *dag.Graph, localities int) {
+	ns := len(g.Source.Pts)
+	nt := len(g.Target.Pts)
+	rr := 0
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		switch {
+		case n.Kind == dag.NodeS || n.Kind == dag.NodeT:
+			// Point bundles stay with their data.
+			if n.Kind == dag.NodeS {
+				n.Locality = owner(n.Box, ns, localities)
+			} else {
+				n.Locality = owner(n.Box, nt, localities)
+			}
+		case n.Kind == dag.NodeM && n.Box.IsLeaf():
+			n.Locality = owner(n.Box, ns, localities)
+		case n.Kind == dag.NodeL && n.Box.IsLeaf():
+			n.Locality = owner(n.Box, nt, localities)
+		default:
+			n.Locality = int32(rr % localities)
+			rr++
+		}
+	}
+}
+
+// MinComm is the paper's merge-and-shift-aware policy: leaf-pinned nodes go
+// to their data owner; source-side M and Is nodes go to the owner of their
+// box; the local expansion of a target box goes to its owner; and the
+// target-side intermediate (It) node — the node with the heaviest fan-in —
+// is placed at the locality from which it receives the most bytes, breaking
+// ties toward its box owner to keep the I->L edge local. This mirrors
+// "the node representing the intermediate expansion of a target box is
+// placed by trying to minimize communication cost while increasing slack
+// time to hide communication latency".
+type MinComm struct{}
+
+// Name implements Policy.
+func (MinComm) Name() string { return "mincomm" }
+
+// Assign implements Policy.
+func (MinComm) Assign(g *dag.Graph, localities int) {
+	ns := len(g.Source.Pts)
+	nt := len(g.Target.Pts)
+	// First pass: everything but It at its box owner.
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		switch n.Kind {
+		case dag.NodeS, dag.NodeM, dag.NodeIs:
+			n.Locality = owner(n.Box, ns, localities)
+		default:
+			n.Locality = owner(n.Box, nt, localities)
+		}
+	}
+	if localities == 1 {
+		return
+	}
+	// Second pass: tally incoming bytes per It node per source locality.
+	inBytes := make(map[int32]map[int32]int64)
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		for _, e := range n.Out {
+			to := &g.Nodes[e.To]
+			if to.Kind != dag.NodeIt {
+				continue
+			}
+			m := inBytes[to.ID]
+			if m == nil {
+				m = make(map[int32]int64)
+				inBytes[to.ID] = m
+			}
+			m[n.Locality] += int64(e.Bytes)
+		}
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Kind != dag.NodeIt {
+			continue
+		}
+		home := owner(n.Box, nt, localities)
+		best := home
+		var bestBytes int64 = -1
+		if m := inBytes[n.ID]; m != nil {
+			// The I->L edge to the local expansion weighs in for the home
+			// locality.
+			m[home] += int64(g.Kernel.MLSize() * 16)
+			for loc, b := range m {
+				if b > bestBytes || (b == bestBytes && loc == home) {
+					best, bestBytes = loc, b
+				}
+			}
+		}
+		n.Locality = best
+	}
+}
+
+// RemoteBytes sums the bytes of edges that cross localities under the
+// current assignment — the communication volume a policy will incur.
+func RemoteBytes(g *dag.Graph) int64 {
+	var total int64
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		for _, e := range n.Out {
+			if g.Nodes[e.To].Locality != n.Locality {
+				total += int64(e.Bytes)
+			}
+		}
+	}
+	return total
+}
+
+// RemoteEdges counts edges that cross localities.
+func RemoteEdges(g *dag.Graph) int64 {
+	var total int64
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		for _, e := range n.Out {
+			if g.Nodes[e.To].Locality != n.Locality {
+				total++
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,120 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/geom"
+	"repro/internal/kernel"
+	"repro/internal/points"
+	"repro/internal/tree"
+)
+
+func distGraph(t testing.TB) *dag.Graph {
+	t.Helper()
+	sp := points.Generate(points.Cube, 20000, 1)
+	tp := points.Generate(points.Cube, 20000, 2)
+	dom := geom.BoundingCube(sp, tp)
+	src := tree.Build(sp, dom, 60)
+	tgt := tree.Build(tp, dom, 60)
+	lists := tree.DualLists(tgt, src)
+	k := kernel.NewLaplace(3)
+	k.Prepare(dom.Side, 7)
+	return dag.Build(dag.Config{Method: dag.Advanced}, src, tgt, lists, k)
+}
+
+func TestAllPoliciesAssignEveryNode(t *testing.T) {
+	g := distGraph(t)
+	for _, pol := range []Policy{Block{}, Cyclic{}, MinComm{}} {
+		for _, L := range []int{1, 3, 8} {
+			pol.Assign(g, L)
+			for i := range g.Nodes {
+				loc := g.Nodes[i].Locality
+				if loc < 0 || loc >= int32(L) {
+					t.Fatalf("%s/L=%d: node %d assigned to %d", pol.Name(), L, i, loc)
+				}
+			}
+		}
+	}
+}
+
+// The paper's hard constraint: S/T bundles and leaf M/L expansions are
+// pinned to the locality owning the underlying points.
+func TestLeafPinningConstraint(t *testing.T) {
+	g := distGraph(t)
+	const L = 4
+	ns := len(g.Source.Pts)
+	nt := len(g.Target.Pts)
+	for _, pol := range []Policy{Block{}, Cyclic{}, MinComm{}} {
+		pol.Assign(g, L)
+		for i := range g.Nodes {
+			n := &g.Nodes[i]
+			var want int32 = -1
+			switch {
+			case n.Kind == dag.NodeS:
+				want = owner(n.Box, ns, L)
+			case n.Kind == dag.NodeT:
+				want = owner(n.Box, nt, L)
+			case n.Kind == dag.NodeM && n.Box.IsLeaf():
+				want = owner(n.Box, ns, L)
+			case n.Kind == dag.NodeL && n.Box.IsLeaf():
+				want = owner(n.Box, nt, L)
+			}
+			if want >= 0 && n.Locality != want {
+				t.Fatalf("%s: %v node of leaf %v at locality %d, pinned owner is %d",
+					pol.Name(), n.Kind, n.Box.Index, n.Locality, want)
+			}
+		}
+	}
+}
+
+func TestPolicyTrafficOrdering(t *testing.T) {
+	g := distGraph(t)
+	const L = 8
+	bytes := map[string]int64{}
+	for _, pol := range []Policy{Block{}, Cyclic{}, MinComm{}} {
+		pol.Assign(g, L)
+		bytes[pol.Name()] = RemoteBytes(g)
+	}
+	if bytes["mincomm"] > bytes["block"] {
+		t.Errorf("mincomm (%d) worse than block (%d)", bytes["mincomm"], bytes["block"])
+	}
+	if bytes["block"] >= bytes["cyclic"] {
+		t.Errorf("block (%d) not below cyclic (%d)", bytes["block"], bytes["cyclic"])
+	}
+}
+
+func TestSingleLocalityHasNoRemoteTraffic(t *testing.T) {
+	g := distGraph(t)
+	MinComm{}.Assign(g, 1)
+	if b := RemoteBytes(g); b != 0 {
+		t.Errorf("remote bytes %d with one locality", b)
+	}
+	if e := RemoteEdges(g); e != 0 {
+		t.Errorf("remote edges %d with one locality", e)
+	}
+}
+
+func TestOwnerIsContiguousAndBalanced(t *testing.T) {
+	g := distGraph(t)
+	const L = 5
+	// Leaf owners must be non-decreasing in tree (Morton) order and cover
+	// all localities roughly evenly.
+	counts := make([]int, L)
+	prev := int32(0)
+	for _, b := range g.Source.Leaves {
+		o := owner(b, len(g.Source.Pts), L)
+		if o < prev {
+			t.Fatalf("owner order violated at %v: %d after %d", b.Index, o, prev)
+		}
+		prev = o
+		counts[o] += b.NPoints()
+	}
+	total := len(g.Source.Pts)
+	for l, c := range counts {
+		frac := float64(c) / float64(total)
+		if frac < 0.5/L || frac > 2.0/L {
+			t.Errorf("locality %d owns %.2f of the points; want about %.2f", l, frac, 1.0/L)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package kernel
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// The exported operator set, implemented on the shared engine. Each method
+// borrows a scratch workspace from the kernel's free list so concurrent
+// callers do not contend or allocate in steady state.
+
+// Prepare implements Kernel.
+func (b *base) Prepare(rootSide float64, maxLevel int) {
+	b.preparePW(rootSide, maxLevel)
+}
+
+// Direct implements Kernel.
+func (b *base) Direct(t, s geom.Point) float64 {
+	r := t.Dist(s)
+	if r == 0 {
+		return 0
+	}
+	return b.directF(r)
+}
+
+// S2T implements Kernel. Coincident source/target pairs contribute nothing,
+// which makes the traditional identical-ensemble N-body case (where each
+// point is both a source and a target) come out right.
+func (b *base) S2T(spts []geom.Point, q []float64, tpts []geom.Point, pot []float64) {
+	for ti, t := range tpts {
+		var acc float64
+		for si, s := range spts {
+			r := t.Dist(s)
+			if r == 0 {
+				continue
+			}
+			acc += q[si] * b.directF(r)
+		}
+		pot[ti] += acc
+	}
+}
+
+// S2M implements Kernel.
+func (b *base) S2M(c geom.Point, spts []geom.Point, q []float64, out []complex128) {
+	ws := b.wsp.get(b)
+	b.s2m(ws, c, spts, q, out)
+	b.wsp.put(ws)
+}
+
+// S2L implements Kernel.
+func (b *base) S2L(c geom.Point, spts []geom.Point, q []float64, out []complex128) {
+	ws := b.wsp.get(b)
+	b.s2l(ws, c, spts, q, out)
+	b.wsp.put(ws)
+}
+
+// M2T implements Kernel.
+func (b *base) M2T(c geom.Point, m []complex128, tpts []geom.Point, pot []float64) {
+	ws := b.wsp.get(b)
+	b.m2t(ws, c, m, tpts, pot)
+	b.wsp.put(ws)
+}
+
+// L2T implements Kernel.
+func (b *base) L2T(c geom.Point, l []complex128, tpts []geom.Point, pot []float64) {
+	ws := b.wsp.get(b)
+	b.l2t(ws, c, l, tpts, pot)
+	b.wsp.put(ws)
+}
+
+// M2M implements Kernel. The projection sphere radius scales with the
+// parent box so aliasing stays level-independent. The eight parent/child
+// offsets recur for every box of a level, so the dense translation matrix
+// is built once per (level, octant) and replayed (exactly the same linear
+// operator, precomputed).
+func (b *base) M2M(from, to geom.Point, childSide float64, in, out []complex128) {
+	if mx := b.xlMatrix(0, to.Sub(from), childSide, b.radOut, b.radOut, b.aM2M*2*childSide); mx != nil {
+		applyMatrix(mx, in, out)
+		return
+	}
+	ws := b.wsp.get(b)
+	b.translate(ws, from, to, b.aM2M*2*childSide, in, b.radOut, b.radOut, out)
+	b.wsp.put(ws)
+}
+
+// M2L implements Kernel.
+func (b *base) M2L(from, to geom.Point, side float64, in, out []complex128) {
+	ws := b.wsp.get(b)
+	b.translate(ws, from, to, b.aM2L*side, in, b.radOut, b.radReg, out)
+	b.wsp.put(ws)
+}
+
+// L2L implements Kernel. Like M2M, the eight offsets are matrix-cached.
+func (b *base) L2L(from, to geom.Point, childSide float64, in, out []complex128) {
+	if mx := b.xlMatrix(1, to.Sub(from), childSide, b.radReg, b.radReg, b.aL2L*childSide); mx != nil {
+		applyMatrix(mx, in, out)
+		return
+	}
+	ws := b.wsp.get(b)
+	b.translate(ws, from, to, b.aL2L*childSide, in, b.radReg, b.radReg, out)
+	b.wsp.put(ws)
+}
+
+// xlKey identifies one cached translation matrix: operator kind, box side
+// (exact halvings of the root side, so float bits are a stable key) and the
+// octant sign pattern of the offset.
+type xlKey struct {
+	kind       uint8
+	sideBits   uint64
+	ox, oy, oz int8
+}
+
+// xlMatrix returns the cached dense matrix for a parent/child translation,
+// building it on first use, or nil when the offset is not one of the eight
+// half-side octant offsets (callers then fall back to direct projection).
+func (b *base) xlMatrix(kind uint8, off geom.Point, childSide float64, inRF, outRF radialFunc, a float64) []complex128 {
+	h := childSide / 2
+	ox, okx := signOf(off.X, h)
+	oy, oky := signOf(off.Y, h)
+	oz, okz := signOf(off.Z, h)
+	if !okx || !oky || !okz {
+		return nil
+	}
+	key := xlKey{kind: kind, sideBits: math.Float64bits(childSide), ox: ox, oy: oy, oz: oz}
+	if v, ok := b.xl.Load(key); ok {
+		return v.([]complex128)
+	}
+	sq := b.MLSize()
+	mx := make([]complex128, sq*sq)
+	ws := b.newWorkspace()
+	e := make([]complex128, sq)
+	col := make([]complex128, sq)
+	to := geom.Point{X: float64(ox) * h, Y: float64(oy) * h, Z: float64(oz) * h}
+	for j := 0; j < sq; j++ {
+		e[j] = 1
+		for i := range col {
+			col[i] = 0
+		}
+		b.translate(ws, geom.Point{}, to, a, e, inRF, outRF, col)
+		for i := range col {
+			mx[i*sq+j] = col[i]
+		}
+		e[j] = 0
+	}
+	actual, _ := b.xl.LoadOrStore(key, mx)
+	return actual.([]complex128)
+}
+
+// signOf reports whether v is (to rounding) +h or -h and with which sign.
+func signOf(v, h float64) (int8, bool) {
+	const tol = 1e-9
+	switch {
+	case math.Abs(v-h) <= tol*math.Max(1, h):
+		return 1, true
+	case math.Abs(v+h) <= tol*math.Max(1, h):
+		return -1, true
+	}
+	return 0, false
+}
+
+// applyMatrix accumulates out += mx * in for a dense sq x sq matrix.
+func applyMatrix(mx, in, out []complex128) {
+	sq := len(in)
+	for i := range out {
+		row := mx[i*sq : (i+1)*sq]
+		var acc complex128
+		for j, v := range in {
+			acc += row[j] * v
+		}
+		out[i] += acc
+	}
+}
+
+// OrderForDigits returns the truncation order p that delivers roughly the
+// requested number of accurate digits for the standard list-2 separation
+// ratio sqrt(3)/2 : 2 of the adaptive FMM.
+func OrderForDigits(digits int) int {
+	ratio := math.Sqrt(3) / 2 / 2 // worst-case r_src / r_eval for list 2
+	p := int(math.Ceil(float64(digits) * math.Ln10 / -math.Log(ratio)))
+	if p < 2 {
+		p = 2
+	}
+	return p
+}

@@ -1,0 +1,330 @@
+// Package kernel implements the interaction kernels of the FMM: the
+// scale-invariant Laplace kernel 1/r and the scale-variant Yukawa kernel
+// e^{-lambda r}/r, together with the eleven operators of the advanced
+// (merge-and-shift) fast multipole method used by the paper:
+//
+//	S->M, M->M, M->L, L->L, L->T, M->T, S->L, S->T    (basic FMM, Fig. 1c)
+//	M->I, I->I, I->L                                  (advanced FMM)
+//
+// Both kernels share one spherical-harmonic framework. Multipole (M) and
+// local (L) expansions hold (p+1)^2 complex coefficients in the dense
+// sphharm.SqIndex layout. The translation operators M->M, M->L and L->L are
+// realized by spectral projection: the expansion's field is evaluated on a
+// Gauss–Legendre x trapezoid sphere about the new center and projected back
+// onto the basis by orthogonality. For the harmonic (Laplace) and modified
+// Helmholtz (Yukawa) equations this is exact up to the quadrature band
+// limit, and it sidesteps kernel-specific analytic translation theorems
+// (the substitution is recorded in DESIGN.md); correctness is gated by the
+// direct-summation accuracy tests in this package and in internal/core.
+//
+// Intermediate (I) expansions are directional plane-wave expansions; see
+// planewave.go.
+package kernel
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/sphharm"
+)
+
+// Kernel is the interaction-specific part of the FMM. Implementations are
+// safe for concurrent use after Prepare has been called. All "out"
+// parameters are accumulated into (so a zeroed slice receives the plain
+// result); this matches the LCO reduction semantics of the runtime.
+type Kernel interface {
+	// Name identifies the kernel ("laplace" or "yukawa").
+	Name() string
+	// P returns the truncation order of the M and L expansions.
+	P() int
+	// MLSize returns the number of complex coefficients in an M or L
+	// expansion.
+	MLSize() int
+	// ISize returns the number of complex coefficients in one directional
+	// plane-wave expansion at the given tree level (an I DAG node holds six
+	// of these). For the scale-variant Yukawa kernel this varies with level.
+	ISize(level int) int
+
+	// Prepare precomputes per-level tables for a domain whose root cube has
+	// the given side, for tree levels 0..maxLevel. It must be called before
+	// any operator is used and is not safe to call concurrently with them.
+	Prepare(rootSide float64, maxLevel int)
+
+	// Direct evaluates the kernel G(t, s) for one pair of points.
+	Direct(t, s geom.Point) float64
+
+	// S2T accumulates the direct interaction of the sources into the
+	// potentials of the targets. Coincident points are skipped (self
+	// interaction).
+	S2T(spts []geom.Point, q []float64, tpts []geom.Point, pot []float64)
+	// S2M forms the multipole expansion about center c of the given sources.
+	S2M(c geom.Point, spts []geom.Point, q []float64, out []complex128)
+	// S2L forms the local expansion about center c due to well-separated
+	// sources.
+	S2L(c geom.Point, spts []geom.Point, q []float64, out []complex128)
+	// M2T evaluates a multipole expansion at the targets.
+	M2T(c geom.Point, m []complex128, tpts []geom.Point, pot []float64)
+	// L2T evaluates a local expansion at the targets.
+	L2T(c geom.Point, l []complex128, tpts []geom.Point, pot []float64)
+
+	// M2M translates a child multipole expansion (child box side childSide,
+	// centered at from) to the parent center to.
+	M2M(from, to geom.Point, childSide float64, in, out []complex128)
+	// M2L converts a multipole expansion of a source box with side `side`
+	// centered at from into a local expansion about to.
+	M2L(from, to geom.Point, side float64, in, out []complex128)
+	// L2L translates a parent local expansion to a child center; childSide
+	// is the side of the child box.
+	L2L(from, to geom.Point, childSide float64, in, out []complex128)
+
+	// M2I converts a multipole expansion of a level-`level` box into the
+	// outgoing plane-wave expansion for direction dir about the same center.
+	M2I(dir geom.Direction, level int, in, out []complex128)
+	// I2I translates a plane-wave expansion by the world-frame vector shift
+	// (a diagonal, pointwise operation) and accumulates it into out.
+	I2I(dir geom.Direction, level int, shift geom.Point, in, out []complex128)
+	// I2L converts an accumulated incoming plane-wave expansion into a local
+	// expansion about the box center.
+	I2L(dir geom.Direction, level int, in, out []complex128)
+}
+
+// radialFunc fills out[n], n = 0..p, with a radial basis function at r.
+type radialFunc func(r float64, out []float64)
+
+// base carries the kernel-independent spherical-harmonic engine. The
+// concrete kernels embed it and supply the radial functions, the moment
+// prefactors and the plane-wave quadrature rule.
+type base struct {
+	name string
+	p    int
+	coef *sphharm.Coef
+
+	radReg radialFunc // regular radial functions R_n (r^n or i_n(kr))
+	radOut radialFunc // outer radial functions O_n (r^{-n-1} or k_n(kr))
+	cn     []float64  // moment prefactor c_n (see S2M)
+
+	// Sphere quadrature for the projection-based translations: directions
+	// and weights integrating spherical harmonics of degree <= band exactly,
+	// with oversampling to suppress aliasing of out-of-band modes.
+	sph []sphNode
+
+	// Projection radii, as multiples of the relevant box side.
+	aM2M, aM2L, aL2L float64
+
+	directF  func(r float64) float64                 // pointwise kernel G(r)
+	gradF    func(r float64) float64                 // dG/dr, for gradient eval
+	pwNodes  func(side float64) (u, mu, w []float64) // box-unit quadrature generator
+	pwParams pwGenParams
+	pw       *pwTables // plane-wave machinery, set up by Prepare
+	wsp      wsChan    // scratch workspace free list
+
+	// xl caches dense translation matrices for the eight fixed
+	// parent/child offsets of M->M and L->L (see api.go).
+	xl sync.Map
+}
+
+type sphNode struct {
+	dir geom.Point // unit direction
+	w   float64    // quadrature weight (sums to 4 pi)
+	y   []complex128
+}
+
+const sphOversample = 3 // extra theta rows beyond exactness
+
+func newBase(name string, p int, radReg, radOut radialFunc, cn []float64) *base {
+	b := &base{
+		name:   name,
+		p:      p,
+		coef:   sphharm.NewCoef(p),
+		radReg: radReg,
+		radOut: radOut,
+		cn:     cn,
+		aM2M:   1.5,
+		aM2L:   1.05,
+		aL2L:   1.0,
+	}
+	nth := p + 1 + sphOversample
+	nph := 2*p + 2 + 2*sphOversample
+	xs, ws := sphharm.GaussLegendre(nth)
+	scratch := make([]float64, sphharm.TriSize(p))
+	for i := 0; i < nth; i++ {
+		ct := xs[i]
+		st := math.Sqrt(1 - ct*ct)
+		for j := 0; j < nph; j++ {
+			phi := 2 * math.Pi * float64(j) / float64(nph)
+			n := sphNode{
+				dir: geom.Point{X: st * math.Cos(phi), Y: st * math.Sin(phi), Z: ct},
+				w:   ws[i] * 2 * math.Pi / float64(nph),
+				y:   make([]complex128, sphharm.SqSize(p)),
+			}
+			b.coef.Ynm(ct, phi, n.y, scratch)
+			b.sph = append(b.sph, n)
+		}
+	}
+	return b
+}
+
+func (b *base) Name() string { return b.name }
+func (b *base) P() int       { return b.p }
+func (b *base) MLSize() int  { return sphharm.SqSize(b.p) }
+
+// workspace bundles the per-call scratch buffers so the hot paths do not
+// allocate. Callers on distinct goroutines get distinct workspaces via the
+// free list below.
+type workspace struct {
+	rad     []float64
+	tri     []float64
+	ylm     []complex128
+	field   []complex128
+	scratch []complex128
+}
+
+func (b *base) newWorkspace() *workspace {
+	return &workspace{
+		rad:     make([]float64, b.p+1),
+		tri:     make([]float64, sphharm.TriSize(b.p)),
+		ylm:     make([]complex128, sphharm.SqSize(b.p)),
+		field:   make([]complex128, len(b.sph)),
+		scratch: make([]complex128, sphharm.SqSize(b.p)),
+	}
+}
+
+// wsPool is a tiny free list of workspaces; a sync.Pool would also do but
+// this keeps allocation behaviour deterministic for the benchmarks.
+type wsChan chan *workspace
+
+func newWSChan(b *base) wsChan { return make(chan *workspace, 64) }
+
+func (c wsChan) get(b *base) *workspace {
+	select {
+	case w := <-c:
+		return w
+	default:
+		return b.newWorkspace()
+	}
+}
+
+func (c wsChan) put(w *workspace) {
+	select {
+	case c <- w:
+	default:
+	}
+}
+
+// S2M accumulates the multipole expansion about c:
+//
+//	M_n^m = sum_s q_s c_n R_n(r_s) conj(Y_n^m(s_hat))
+//
+// so that the far field is Phi(t) = sum M_n^m O_n(r_t) Y_n^m(t_hat).
+func (b *base) s2m(ws *workspace, c geom.Point, spts []geom.Point, q []float64, out []complex128) {
+	b.project(ws, c, spts, q, b.radReg, out)
+}
+
+// S2L accumulates the local expansion about c due to distant sources:
+//
+//	L_n^m = sum_s q_s c_n O_n(r_s) conj(Y_n^m(s_hat))
+//
+// so that Phi(t) = sum L_n^m R_n(r_t) Y_n^m(t_hat) for targets nearer to c
+// than every source.
+func (b *base) s2l(ws *workspace, c geom.Point, spts []geom.Point, q []float64, out []complex128) {
+	b.project(ws, c, spts, q, b.radOut, out)
+}
+
+func (b *base) project(ws *workspace, c geom.Point, spts []geom.Point, q []float64, rf radialFunc, out []complex128) {
+	p := b.p
+	for i, s := range spts {
+		v := s.Sub(c)
+		r := v.Norm()
+		ct, phi := angles(v, r)
+		rf(r, ws.rad)
+		b.coef.Ynm(ct, phi, ws.ylm, ws.tri)
+		for n := 0; n <= p; n++ {
+			f := complex(q[i]*b.cn[n]*ws.rad[n], 0)
+			for m := -n; m <= n; m++ {
+				idx := sphharm.SqIndex(n, m)
+				out[idx] += f * cmplx.Conj(ws.ylm[idx])
+			}
+		}
+	}
+}
+
+// evalExpansion evaluates sum coeff_n^m rad_n(r) Y_n^m(t_hat) at point t
+// relative to center c.
+func (b *base) evalExpansion(ws *workspace, c geom.Point, coeff []complex128, rf radialFunc, t geom.Point) complex128 {
+	v := t.Sub(c)
+	r := v.Norm()
+	ct, phi := angles(v, r)
+	rf(r, ws.rad)
+	b.coef.Ynm(ct, phi, ws.ylm, ws.tri)
+	var acc complex128
+	for n := 0; n <= b.p; n++ {
+		var sn complex128
+		for m := -n; m <= n; m++ {
+			idx := sphharm.SqIndex(n, m)
+			sn += coeff[idx] * ws.ylm[idx]
+		}
+		acc += sn * complex(ws.rad[n], 0)
+	}
+	return acc
+}
+
+func (b *base) m2t(ws *workspace, c geom.Point, m []complex128, tpts []geom.Point, pot []float64) {
+	for i, t := range tpts {
+		pot[i] += real(b.evalExpansion(ws, c, m, b.radOut, t))
+	}
+}
+
+func (b *base) l2t(ws *workspace, c geom.Point, l []complex128, tpts []geom.Point, pot []float64) {
+	for i, t := range tpts {
+		pot[i] += real(b.evalExpansion(ws, c, l, b.radReg, t))
+	}
+}
+
+// translate implements the projection-based translations. The field of the
+// input expansion (with radial family inRF about center from) is sampled on
+// the sphere of radius a about to and projected onto the output radial
+// family outRF; the result is accumulated into out.
+func (b *base) translate(ws *workspace, from, to geom.Point, a float64, in []complex128, inRF, outRF radialFunc, out []complex128) {
+	p := b.p
+	// Sample the field.
+	for i, n := range b.sph {
+		pt := to.Add(n.dir.Scale(a))
+		ws.field[i] = b.evalExpansion(ws, from, in, inRF, pt)
+	}
+	// Project: coeff_n^m = int f(a Omega) conj(Y_n^m) dOmega / outRF_n(a).
+	for i := range ws.scratch {
+		ws.scratch[i] = 0
+	}
+	for i, n := range b.sph {
+		fw := ws.field[i] * complex(n.w, 0)
+		for idx := 0; idx < sphharm.SqSize(p); idx++ {
+			ws.scratch[idx] += fw * cmplx.Conj(n.y[idx])
+		}
+	}
+	outRF(a, ws.rad)
+	for n := 0; n <= p; n++ {
+		inv := complex(1/ws.rad[n], 0)
+		for m := -n; m <= n; m++ {
+			idx := sphharm.SqIndex(n, m)
+			out[idx] += ws.scratch[idx] * inv
+		}
+	}
+}
+
+// angles returns (cos theta, phi) of the vector v with |v| = r, mapping the
+// zero vector to the north pole.
+func angles(v geom.Point, r float64) (ct, phi float64) {
+	if r == 0 {
+		return 1, 0
+	}
+	ct = v.Z / r
+	if ct > 1 {
+		ct = 1
+	} else if ct < -1 {
+		ct = -1
+	}
+	phi = math.Atan2(v.Y, v.X)
+	return ct, phi
+}

@@ -1,0 +1,37 @@
+package kernel
+
+import "math"
+
+// NewLaplace returns the scale-invariant Laplace kernel 1/r (the potential
+// of electrostatics and Newtonian gravitation) with multipole truncation
+// order p. Use OrderForDigits to pick p from an accuracy requirement.
+func NewLaplace(p int) Kernel {
+	cn := make([]float64, p+1)
+	for n := 0; n <= p; n++ {
+		cn[n] = 4 * math.Pi / float64(2*n+1)
+	}
+	b := newBase("laplace", p,
+		func(r float64, out []float64) { // R_n = r^n
+			v := 1.0
+			for n := 0; n <= p; n++ {
+				out[n] = v
+				v *= r
+			}
+		},
+		func(r float64, out []float64) { // O_n = r^{-n-1}
+			v := 1 / r
+			for n := 0; n <= p; n++ {
+				out[n] = v
+				v /= r
+			}
+		},
+		cn)
+	b.directF = func(r float64) float64 { return 1 / r }
+	b.gradF = func(r float64) float64 { return -1 / (r * r) }
+	b.pwParams = defaultPWParams
+	b.pwNodes = func(side float64) (u, mu, w []float64) {
+		return laplaceNodes(b.pwParams)
+	}
+	b.wsp = newWSChan(b)
+	return b
+}

@@ -1,0 +1,65 @@
+package kernel
+
+import (
+	"math"
+
+	"repro/internal/sphharm"
+)
+
+// NewYukawa returns the scale-variant Yukawa (screened Coulomb) kernel
+// e^{-lambda r}/r with screening parameter lambda > 0 and truncation order
+// p.
+//
+// The radial basis is normalized so it degenerates smoothly to the Laplace
+// basis as lambda -> 0:
+//
+//	R_n(r) = i_n(lambda r) (2n+1)!! / lambda^n        (-> r^n)
+//	O_n(r) = k_n(lambda r) 2 lambda^{n+1} / (pi (2n-1)!!)  (-> r^{-n-1})
+//
+// With this normalization the Gegenbauer addition theorem takes exactly the
+// Laplace form with the same moment prefactor c_n = 4 pi/(2n+1), so the
+// whole spherical-harmonic engine is shared and well conditioned at every
+// tree depth.
+func NewYukawa(p int, lambda float64) Kernel {
+	if lambda <= 0 {
+		panic("kernel: Yukawa lambda must be positive")
+	}
+	cn := make([]float64, p+1)
+	dfOdd := make([]float64, p+2) // (2n+1)!! for n = -1..p at index n+1
+	dfOdd[0] = 1                  // (2*(-1)+1)!! = (-1)!! = 1
+	for n := 0; n <= p; n++ {
+		cn[n] = 4 * math.Pi / float64(2*n+1)
+		dfOdd[n+1] = dfOdd[n] * float64(2*n+1)
+	}
+	b := newBase("yukawa", p,
+		func(r float64, out []float64) { // R_n = i_n(lr) (2n+1)!!/l^n
+			x := lambda * r
+			sphharm.BesselI(p, x, out)
+			ln := 1.0
+			for n := 0; n <= p; n++ {
+				out[n] *= dfOdd[n+1] / ln
+				ln *= lambda
+			}
+		},
+		func(r float64, out []float64) { // O_n = k_n(lr) 2 l^{n+1}/(pi (2n-1)!!)
+			x := lambda * r
+			sphharm.BesselK(p, x, out)
+			ln := lambda
+			for n := 0; n <= p; n++ {
+				out[n] *= 2 * ln / (math.Pi * dfOdd[n])
+				ln *= lambda
+			}
+		},
+		cn)
+	b.directF = func(r float64) float64 { return math.Exp(-lambda*r) / r }
+	b.gradF = func(r float64) float64 {
+		// d/dr e^{-lr}/r = -e^{-lr} (l r + 1) / r^2
+		return -math.Exp(-lambda*r) * (lambda*r + 1) / (r * r)
+	}
+	b.pwParams = defaultPWParams
+	b.pwNodes = func(side float64) (u, mu, w []float64) {
+		return yukawaNodes(lambda*side, b.pwParams)
+	}
+	b.wsp = newWSChan(b)
+	return b
+}

@@ -1,0 +1,98 @@
+package points
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, d := range []Distribution{Cube, Sphere, Plummer} {
+		a := Generate(d, 100, 42)
+		b := Generate(d, 100, 42)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: not deterministic at %d", d, i)
+			}
+		}
+		c := Generate(d, 100, 43)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%v: different seeds gave identical points", d)
+		}
+	}
+}
+
+func TestCubeInUnitCube(t *testing.T) {
+	for _, p := range Generate(Cube, 2000, 1) {
+		if p.X < 0 || p.X >= 1 || p.Y < 0 || p.Y >= 1 || p.Z < 0 || p.Z >= 1 {
+			t.Fatalf("point %v outside unit cube", p)
+		}
+	}
+}
+
+func TestSphereOnSurface(t *testing.T) {
+	c := geom.Point{X: 0.5, Y: 0.5, Z: 0.5}
+	for _, p := range Generate(Sphere, 2000, 2) {
+		if math.Abs(p.Dist(c)-0.5) > 1e-12 {
+			t.Fatalf("point %v not on sphere surface (r=%v)", p, p.Dist(c))
+		}
+	}
+}
+
+func TestSphereRoughlyUniform(t *testing.T) {
+	// Mean z over a uniform sphere surface is the center z.
+	pts := Generate(Sphere, 50000, 3)
+	var mz float64
+	for _, p := range pts {
+		mz += p.Z
+	}
+	mz /= float64(len(pts))
+	if math.Abs(mz-0.5) > 0.01 {
+		t.Errorf("mean z %v, want about 0.5", mz)
+	}
+}
+
+func TestPlummerCentrallyConcentrated(t *testing.T) {
+	c := geom.Point{X: 0.5, Y: 0.5, Z: 0.5}
+	pts := Generate(Plummer, 20000, 4)
+	inner := 0
+	for _, p := range pts {
+		if !((p.X >= 0 && p.X < 1) && (p.Y >= 0 && p.Y < 1) && (p.Z >= 0 && p.Z < 1)) {
+			t.Fatalf("plummer point %v escaped the unit cube", p)
+		}
+		if p.Dist(c) < 0.15 {
+			inner++
+		}
+	}
+	if frac := float64(inner) / float64(len(pts)); frac < 0.4 {
+		t.Errorf("only %.2f of plummer points within r=0.15; expected central concentration", frac)
+	}
+}
+
+func TestCharges(t *testing.T) {
+	q := Charges(1000, 5)
+	var sum float64
+	for _, v := range q {
+		if v < -1 || v >= 1 {
+			t.Fatalf("charge %v out of range", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum)/1000 > 0.1 {
+		t.Errorf("charges badly biased: mean %v", sum/1000)
+	}
+	u := UnitCharges(5)
+	for _, v := range u {
+		if v != 1 {
+			t.Fatal("unit charge not 1")
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"repro/internal/dag"
+	"repro/internal/trace"
+)
+
+// Calibrate derives a cost model from a real traced execution of the same
+// graph: for each operator class, the measured total time divided by the
+// total work units of that class in the graph (the Table II methodology:
+// average execution time per operation, here normalized per unit so costs
+// extrapolate across problem sizes).
+func Calibrate(g *dag.Graph, events []trace.Event) CostModel {
+	var unitSum [dag.NumOpKinds]float64
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		for _, e := range n.Out {
+			unitSum[e.Op] += Units(g, n, e)
+		}
+	}
+	var timeSum [dag.NumOpKinds]float64
+	for _, ev := range events {
+		if int(ev.Class) < len(timeSum) {
+			timeSum[ev.Class] += float64(ev.End - ev.Start)
+		}
+	}
+	m := CostModel{TaskOverhead: 300}
+	for op := 0; op < int(dag.NumOpKinds); op++ {
+		if unitSum[op] > 0 && timeSum[op] > 0 {
+			m.OpNanos[op] = timeSum[op] / unitSum[op]
+		}
+	}
+	return m
+}
+
+// PaperCostModel returns per-unit costs derived from the measured averages
+// in Table II of the paper (a 128-core Big Red II run of the Laplace
+// kernel, threshold 60, ~14 points per leaf on average), plus a Gemini-like
+// network. Use it to replay the paper's machine balance; use Calibrate for
+// this machine's balance.
+func PaperCostModel() CostModel {
+	const leafPts = 14.0 // 30M points / 2.1M leaves
+	var m CostModel
+	m.OpNanos[dag.OpS2T] = 1890 / (leafPts * leafPts) // 1.89 us per leaf pair
+	m.OpNanos[dag.OpS2M] = 10900 / leafPts            // 10.9 us per leaf
+	m.OpNanos[dag.OpM2M] = 4600
+	m.OpNanos[dag.OpM2I] = 29600
+	m.OpNanos[dag.OpI2I] = 1750
+	m.OpNanos[dag.OpI2L] = 38400
+	m.OpNanos[dag.OpL2L] = 4450
+	m.OpNanos[dag.OpL2T] = 13500 / leafPts
+	// Not measured in the paper (absent from Table II for cube data);
+	// plausible values in the same balance.
+	m.OpNanos[dag.OpM2L] = 29600
+	m.OpNanos[dag.OpS2L] = 10900 / leafPts
+	m.OpNanos[dag.OpM2T] = 13500 / leafPts
+	m.TaskOverhead = 1000
+	// Effective software active-message latency of the HPX-5 + Photon
+	// stack on Gemini (hardware RTT is ~1.5 us; the runtime's progress
+	// engine and dynamic out-edge handling add the rest — the paper
+	// attributes its ~10% utilization deficit to exactly these costs).
+	m.LatencyNanos = 10000
+	m.BytesPerNano = 6.0     // ~6 GB/s effective per-locality bandwidth
+	m.RecvNanosPerByte = 1.0 // ~1 GB/s effective receive path (copy + dynamic allocation)
+	return m
+}
+
+// YukawaScale scales every operator of a cost model by the given factor to
+// emulate the heavier Yukawa grain size (the paper: "the specific
+// operations for the Yukawa kernel are heavier than the equivalent for the
+// Laplace kernel" — including the direct S->T interactions, which evaluate
+// an exponential per pair). Task overhead and network costs are fixed costs
+// of the runtime and do not scale, which is exactly why the paper sees
+// better strong scaling for the heavier kernel.
+func YukawaScale(m CostModel, factor float64) CostModel {
+	for op := range m.OpNanos {
+		m.OpNanos[op] *= factor
+	}
+	return m
+}

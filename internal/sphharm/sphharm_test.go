@@ -1,0 +1,307 @@
+package sphharm
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLegendreKnownValues(t *testing.T) {
+	out := make([]float64, 6)
+	Legendre(5, 0.5, out)
+	want := []float64{1, 0.5, -0.125, -0.4375, -0.2890625, 0.08984375}
+	for n, w := range want {
+		if math.Abs(out[n]-w) > 1e-14 {
+			t.Errorf("P_%d(0.5) = %v, want %v", n, out[n], w)
+		}
+	}
+}
+
+func TestLegendreEndpoints(t *testing.T) {
+	out := make([]float64, 11)
+	Legendre(10, 1, out)
+	for n := 0; n <= 10; n++ {
+		if math.Abs(out[n]-1) > 1e-13 {
+			t.Errorf("P_%d(1) = %v, want 1", n, out[n])
+		}
+	}
+	Legendre(10, -1, out)
+	for n := 0; n <= 10; n++ {
+		want := 1.0
+		if n%2 == 1 {
+			want = -1
+		}
+		if math.Abs(out[n]-want) > 1e-13 {
+			t.Errorf("P_%d(-1) = %v, want %v", n, out[n], want)
+		}
+	}
+}
+
+func TestAssocLegendreMatchesLegendre(t *testing.T) {
+	// P_n^0 must equal P_n.
+	p := 12
+	tri := make([]float64, TriSize(p))
+	leg := make([]float64, p+1)
+	for _, x := range []float64{-0.9, -0.3, 0, 0.4, 0.77, 0.999} {
+		AssocLegendre(p, x, tri)
+		Legendre(p, x, leg)
+		for n := 0; n <= p; n++ {
+			if math.Abs(tri[TriIndex(n, 0)]-leg[n]) > 1e-12*math.Max(1, math.Abs(leg[n])) {
+				t.Errorf("x=%v: P_%d^0 = %v, want %v", x, n, tri[TriIndex(n, 0)], leg[n])
+			}
+		}
+	}
+}
+
+func TestAssocLegendreKnownValues(t *testing.T) {
+	// Without Condon–Shortley phase: P_1^1 = sin(theta), P_2^1 = 3 x sin,
+	// P_2^2 = 3 sin^2.
+	x := 0.3
+	s := math.Sqrt(1 - x*x)
+	tri := make([]float64, TriSize(3))
+	AssocLegendre(3, x, tri)
+	cases := []struct {
+		n, m int
+		want float64
+	}{
+		{1, 1, s},
+		{2, 1, 3 * x * s},
+		{2, 2, 3 * s * s},
+		{3, 3, 15 * s * s * s},
+		{3, 1, 1.5 * s * (5*x*x - 1)},
+	}
+	for _, c := range cases {
+		got := tri[TriIndex(c.n, c.m)]
+		if math.Abs(got-c.want) > 1e-13 {
+			t.Errorf("P_%d^%d(%v) = %v, want %v", c.n, c.m, x, got, c.want)
+		}
+	}
+}
+
+func TestYnmOrthonormality(t *testing.T) {
+	// Numerically integrate Y_a conj(Y_b) over the sphere with a product
+	// Gauss–Legendre x trapezoid rule and check the identity matrix appears.
+	p := 6
+	c := NewCoef(p)
+	nth := p + 2
+	nph := 2*p + 3
+	xs, ws := GaussLegendre(nth)
+	ylm := make([]complex128, SqSize(p))
+	scratch := make([]float64, TriSize(p))
+	gram := make([]complex128, SqSize(p)*SqSize(p))
+	for i := 0; i < nth; i++ {
+		for j := 0; j < nph; j++ {
+			phi := 2 * math.Pi * float64(j) / float64(nph)
+			c.Ynm(xs[i], phi, ylm, scratch)
+			w := ws[i] * 2 * math.Pi / float64(nph)
+			for a := 0; a < SqSize(p); a++ {
+				for b := 0; b < SqSize(p); b++ {
+					gram[a*SqSize(p)+b] += complex(w, 0) * ylm[a] * cmplx.Conj(ylm[b])
+				}
+			}
+		}
+	}
+	for a := 0; a < SqSize(p); a++ {
+		for b := 0; b < SqSize(p); b++ {
+			want := complex(0, 0)
+			if a == b {
+				want = 1
+			}
+			if cmplx.Abs(gram[a*SqSize(p)+b]-want) > 1e-10 {
+				t.Fatalf("gram[%d,%d] = %v, want %v", a, b, gram[a*SqSize(p)+b], want)
+			}
+		}
+	}
+}
+
+func TestYnmAdditionTheorem(t *testing.T) {
+	// sum_m Y_n^m(a) conj(Y_n^m(b)) = (2n+1)/(4 pi) P_n(cos gamma).
+	p := 10
+	c := NewCoef(p)
+	rng := rand.New(rand.NewSource(7))
+	ya := make([]complex128, SqSize(p))
+	yb := make([]complex128, SqSize(p))
+	scratch := make([]float64, TriSize(p))
+	leg := make([]float64, p+1)
+	for trial := 0; trial < 20; trial++ {
+		ct1 := 2*rng.Float64() - 1
+		ph1 := 2 * math.Pi * rng.Float64()
+		ct2 := 2*rng.Float64() - 1
+		ph2 := 2 * math.Pi * rng.Float64()
+		c.Ynm(ct1, ph1, ya, scratch)
+		c.Ynm(ct2, ph2, yb, scratch)
+		st1 := math.Sqrt(1 - ct1*ct1)
+		st2 := math.Sqrt(1 - ct2*ct2)
+		cosg := ct1*ct2 + st1*st2*math.Cos(ph1-ph2)
+		Legendre(p, cosg, leg)
+		for n := 0; n <= p; n++ {
+			var sum complex128
+			for m := -n; m <= n; m++ {
+				sum += ya[SqIndex(n, m)] * cmplx.Conj(yb[SqIndex(n, m)])
+			}
+			want := float64(2*n+1) / (4 * math.Pi) * leg[n]
+			if math.Abs(real(sum)-want) > 1e-11 || math.Abs(imag(sum)) > 1e-11 {
+				t.Fatalf("trial %d n=%d: sum=%v want %v", trial, n, sum, want)
+			}
+		}
+	}
+}
+
+func TestGaussLegendreExactness(t *testing.T) {
+	// n-point Gauss–Legendre is exact for polynomials of degree 2n-1.
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 31} {
+		x, w := GaussLegendre(n)
+		for deg := 0; deg <= 2*n-1; deg++ {
+			var got float64
+			for i := range x {
+				got += w[i] * math.Pow(x[i], float64(deg))
+			}
+			want := 0.0
+			if deg%2 == 0 {
+				want = 2 / float64(deg+1)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("n=%d deg=%d: integral=%v want %v", n, deg, got, want)
+			}
+		}
+	}
+}
+
+func TestGaussLegendreWeightsSum(t *testing.T) {
+	for _, n := range []int{1, 4, 9, 33, 64} {
+		_, w := GaussLegendre(n)
+		var s float64
+		for _, v := range w {
+			s += v
+		}
+		if math.Abs(s-2) > 1e-12 {
+			t.Errorf("n=%d: weight sum %v, want 2", n, s)
+		}
+	}
+}
+
+func TestBesselIKnownValues(t *testing.T) {
+	out := make([]float64, 4)
+	for _, x := range []float64{0.1, 1, 3, 10} {
+		BesselI(3, x, out)
+		i0 := math.Sinh(x) / x
+		i1 := (x*math.Cosh(x) - math.Sinh(x)) / (x * x)
+		i2 := ((x*x+3)*math.Sinh(x) - 3*x*math.Cosh(x)) / (x * x * x)
+		for n, want := range []float64{i0, i1, i2} {
+			if math.Abs(out[n]-want) > 1e-12*math.Max(1, math.Abs(want)) {
+				t.Errorf("i_%d(%v) = %v, want %v", n, x, out[n], want)
+			}
+		}
+	}
+}
+
+func TestBesselKKnownValues(t *testing.T) {
+	out := make([]float64, 3)
+	for _, x := range []float64{0.2, 1, 5, 40} {
+		BesselK(2, x, out)
+		k0 := math.Pi / 2 * math.Exp(-x) / x
+		k1 := math.Pi / 2 * math.Exp(-x) * (1/x + 1/(x*x))
+		k2 := math.Pi / 2 * math.Exp(-x) * (1/x + 3/(x*x) + 3/(x*x*x))
+		for n, want := range []float64{k0, k1, k2} {
+			if math.Abs(out[n]-want) > 1e-12*math.Abs(want) {
+				t.Errorf("k_%d(%v) = %v, want %v", n, x, out[n], want)
+			}
+		}
+	}
+}
+
+func TestBesselWronskian(t *testing.T) {
+	// i_n(x) k_{n+1}(x) + i_{n+1}(x) k_n(x) = pi / (2 x^2).
+	p := 15
+	iv := make([]float64, p+2)
+	kv := make([]float64, p+2)
+	for _, x := range []float64{0.05, 0.7, 2, 9, 35, 120} {
+		BesselI(p+1, x, iv)
+		BesselK(p+1, x, kv)
+		want := math.Pi / (2 * x * x)
+		for n := 0; n <= p; n++ {
+			got := iv[n]*kv[n+1] + iv[n+1]*kv[n]
+			if math.Abs(got-want) > 1e-10*want {
+				t.Errorf("x=%v n=%d: Wronskian %v, want %v", x, n, got, want)
+			}
+		}
+	}
+}
+
+func TestBesselIScaledMatches(t *testing.T) {
+	p := 10
+	a := make([]float64, p+1)
+	b := make([]float64, p+1)
+	for _, x := range []float64{0.3, 5, 50, 250, 400, 800} {
+		BesselIScaled(p, x, a)
+		if x < 290 {
+			BesselI(p, x, b)
+			s := math.Exp(-x)
+			for n := 0; n <= p; n++ {
+				if math.Abs(a[n]-b[n]*s) > 1e-12*math.Max(1e-300, math.Abs(b[n]*s)) {
+					t.Errorf("x=%v n=%d: scaled %v vs %v", x, n, a[n], b[n]*s)
+				}
+			}
+		}
+		// Scaled i_0 closed form.
+		want := (1 - math.Exp(-2*x)) / (2 * x)
+		if math.Abs(a[0]-want) > 1e-12*want {
+			t.Errorf("x=%v: scaled i_0 = %v, want %v", x, a[0], want)
+		}
+	}
+}
+
+func TestBesselRecurrenceProperty(t *testing.T) {
+	// Property: i_{n-1} - i_{n+1} = (2n+1)/x i_n for random x.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := 0.05 + 20*rng.Float64()
+		p := 8
+		iv := make([]float64, p+2)
+		BesselI(p+1, x, iv)
+		for n := 1; n <= p; n++ {
+			lhs := iv[n-1] - iv[n+1]
+			rhs := float64(2*n+1) / x * iv[n]
+			if math.Abs(lhs-rhs) > 1e-9*math.Max(1e-30, math.Abs(lhs)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriSqIndexing(t *testing.T) {
+	// The packed layouts must be bijective and in-bounds.
+	p := 9
+	seen := make(map[int]bool)
+	for n := 0; n <= p; n++ {
+		for m := 0; m <= n; m++ {
+			i := TriIndex(n, m)
+			if i < 0 || i >= TriSize(p) || seen[i] {
+				t.Fatalf("TriIndex(%d,%d) = %d invalid or duplicate", n, m, i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != TriSize(p) {
+		t.Fatalf("TriIndex covers %d of %d slots", len(seen), TriSize(p))
+	}
+	seen = make(map[int]bool)
+	for n := 0; n <= p; n++ {
+		for m := -n; m <= n; m++ {
+			i := SqIndex(n, m)
+			if i < 0 || i >= SqSize(p) || seen[i] {
+				t.Fatalf("SqIndex(%d,%d) = %d invalid or duplicate", n, m, i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != SqSize(p) {
+		t.Fatalf("SqIndex covers %d of %d slots", len(seen), SqSize(p))
+	}
+}

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// The paper's evaluation used "a mild modification of ... DASHMM that added
+// the ability to trace DASHMM execution events". This file is that
+// facility's serialization: traces are written as JSON lines so external
+// tooling (or a later analysis run) can consume them.
+
+// WriteJSON writes the events as one JSON object per line.
+func WriteJSON(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON reads events written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+}

@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestAnalyzeFullUtilization(t *testing.T) {
+	// Two workers busy over the whole span: f_k must be 1 everywhere.
+	var events []Event
+	for w := 0; w < 2; w++ {
+		for s := int64(0); s < 1000; s += 100 {
+			events = append(events, Event{Class: 1, Worker: int32(w), Start: s, End: s + 100})
+		}
+	}
+	u := Analyze(events, 2, 10, 0, 1000)
+	for k, v := range u.Total {
+		if math.Abs(v-1) > 1e-9 {
+			t.Errorf("f_%d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestAnalyzeHalfUtilization(t *testing.T) {
+	// One of two workers busy: f_k = 0.5.
+	var events []Event
+	for s := int64(0); s < 1000; s += 50 {
+		events = append(events, Event{Class: 2, Start: s, End: s + 50})
+	}
+	u := Analyze(events, 2, 4, 0, 1000)
+	for k, v := range u.Total {
+		if math.Abs(v-0.5) > 1e-9 {
+			t.Errorf("f_%d = %v, want 0.5", k, v)
+		}
+	}
+}
+
+func TestAnalyzeEventSpanningIntervals(t *testing.T) {
+	// A single event spanning the whole range distributes evenly.
+	events := []Event{{Class: 3, Start: 0, End: 1000}}
+	u := Analyze(events, 1, 10, 0, 1000)
+	for k, v := range u.Total {
+		if math.Abs(v-1) > 1e-9 {
+			t.Errorf("f_%d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestAnalyzeByClassSumsToTotal(t *testing.T) {
+	events := []Event{
+		{Class: 0, Start: 0, End: 300},
+		{Class: 1, Start: 300, End: 600},
+		{Class: 2, Start: 500, End: 900},
+	}
+	u := Analyze(events, 2, 9, 0, 900)
+	for k := range u.Total {
+		var sum float64
+		for _, vals := range u.ByClass {
+			sum += vals[k]
+		}
+		if math.Abs(sum-u.Total[k]) > 1e-9 {
+			t.Errorf("interval %d: class sum %v != total %v", k, sum, u.Total[k])
+		}
+	}
+}
+
+func TestAnalyzeClipsOutOfRange(t *testing.T) {
+	events := []Event{{Class: 0, Start: -500, End: 1500}}
+	u := Analyze(events, 1, 4, 0, 1000)
+	var total float64
+	for _, v := range u.Total {
+		total += v
+	}
+	if math.Abs(total-4) > 1e-9 { // each interval fully covered
+		t.Errorf("clipped totals %v", u.Total)
+	}
+}
+
+func TestStarvationDetectsDip(t *testing.T) {
+	// Construct a profile: ramp, plateau at 0.9, dip to 0.3 at 70-85%, and
+	// recovery.
+	m := 100
+	events := []Event{}
+	span := int64(100000)
+	dt := span / int64(m)
+	level := func(k int) float64 {
+		switch {
+		case k < 10:
+			return float64(k) / 10 * 0.9
+		case k >= 70 && k < 85:
+			return 0.3
+		default:
+			return 0.9
+		}
+	}
+	for k := 0; k < m; k++ {
+		dur := int64(level(k) * float64(dt))
+		if dur > 0 {
+			events = append(events, Event{Class: 0, Start: int64(k) * dt, End: int64(k)*dt + dur})
+		}
+	}
+	u := Analyze(events, 1, m, 0, span)
+	first, last, plateau, found := u.Starvation(0.7)
+	if !found {
+		t.Fatal("dip not found")
+	}
+	if first < 68 || first > 72 || last < 80 || last > 90 {
+		t.Errorf("dip located at [%d,%d], want about [70,85]", first, last)
+	}
+	if math.Abs(plateau-0.9) > 0.05 {
+		t.Errorf("plateau %v, want about 0.9", plateau)
+	}
+}
+
+func TestStarvationAbsentOnFlatProfile(t *testing.T) {
+	m := 50
+	span := int64(50000)
+	dt := span / int64(m)
+	var events []Event
+	for k := 0; k < m; k++ {
+		events = append(events, Event{Class: 0, Start: int64(k) * dt, End: int64(k)*dt + dt*9/10})
+	}
+	u := Analyze(events, 1, m, 0, span)
+	if _, _, _, found := u.Starvation(0.7); found {
+		t.Error("found a dip in a flat profile")
+	}
+}
+
+func TestTracerRoundTrip(t *testing.T) {
+	tr := New(3)
+	tr.Record(0, Event{Class: 1, Start: 10, End: 20})
+	tr.Record(2, Event{Class: 2, Start: 5, End: 8})
+	tr.Record(1, Event{Class: 3, Start: 30, End: 40})
+	evs := tr.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	// Sorted by start.
+	if evs[0].Class != 2 || evs[1].Class != 1 || evs[2].Class != 3 {
+		t.Errorf("wrong order: %+v", evs)
+	}
+	tr.Reset()
+	if len(tr.Snapshot()) != 0 {
+		t.Error("reset did not clear events")
+	}
+}
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer enabled")
+	}
+	tr.Record(0, Event{}) // must not panic
+	tr.RecordVirtual(Event{})
+}
+
+func TestAvgMicrosByClass(t *testing.T) {
+	events := []Event{
+		{Class: 7, Start: 0, End: 1000},
+		{Class: 7, Start: 0, End: 3000},
+		{Class: 9, Start: 0, End: 500},
+	}
+	avg := AvgMicrosByClass(events)
+	if math.Abs(avg[7]-2) > 1e-9 {
+		t.Errorf("avg class 7 = %v, want 2", avg[7])
+	}
+	if math.Abs(avg[9]-0.5) > 1e-9 {
+		t.Errorf("avg class 9 = %v, want 0.5", avg[9])
+	}
+}
+
+func TestSpan(t *testing.T) {
+	s, e := Span([]Event{{Start: 5, End: 10}, {Start: 2, End: 7}, {Start: 6, End: 20}})
+	if s != 2 || e != 20 {
+		t.Errorf("span [%d,%d], want [2,20]", s, e)
+	}
+	s, e = Span(nil)
+	if s != 0 || e != 0 {
+		t.Errorf("empty span [%d,%d]", s, e)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	events := []Event{
+		{Class: 1, Worker: 0, Locality: 0, Start: 10, End: 20},
+		{Class: 9, Worker: 3, Locality: 1, Start: 15, End: 40},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("got %d events", len(got))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Errorf("event %d: %+v vs %+v", i, got[i], events[i])
+		}
+	}
+	// Empty round trip.
+	buf.Reset()
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadJSON(&buf); err != nil || len(got) != 0 {
+		t.Errorf("empty round trip: %v %v", got, err)
+	}
+}

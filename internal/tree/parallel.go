@@ -1,0 +1,220 @@
+package tree
+
+import (
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// BuildParallel constructs the same octree Build produces, using the
+// three-step parallel strategy of the paper (Section IV): the points are
+// first sorted at a coarse level (by the octant boxes of a shallow prefix
+// of the tree), the coarse buckets are then partitioned concurrently by
+// `workers` goroutines, and finally the per-bucket results are stitched
+// into one tree with a compact sequential pass over the shallow prefix.
+//
+// The resulting tree is structurally identical to Build's (same boxes, same
+// leaf ranges) though the intra-leaf point order may differ; every
+// consumer of the tree is insensitive to intra-leaf order.
+func BuildParallel(pts []geom.Point, domain geom.Cube, threshold, workers int) *Tree {
+	if workers <= 1 || len(pts) <= 8*threshold {
+		return Build(pts, domain, threshold)
+	}
+	// Step 1: coarse sort. Pick the coarse level so there are a few buckets
+	// per worker; two levels (64 octants) is enough for any sane worker
+	// count here.
+	const coarseLevel = 2
+	nb := 1 << (3 * coarseLevel) // 64
+	// Bucket ids follow the octant path (Morton order) so that the
+	// children of any shallow box occupy a contiguous bucket range — and
+	// therefore a contiguous point range, the invariant internal boxes
+	// rely on.
+	key := func(p geom.Point) int {
+		ix := geom.Root
+		id := 0
+		for l := 0; l < coarseLevel; l++ {
+			o := ix.ChildContaining(domain, p)
+			id = id<<3 | o
+			ix = ix.Child(o)
+		}
+		return id
+	}
+	t := &Tree{
+		Domain: domain,
+		Pts:    append([]geom.Point(nil), pts...),
+		Perm:   make([]int, len(pts)),
+		byKey:  make(map[uint64]*Box),
+	}
+	for i := range t.Perm {
+		t.Perm[i] = i
+	}
+	// Counting sort into coarse buckets.
+	counts := make([]int, nb)
+	for _, p := range t.Pts {
+		counts[key(p)]++
+	}
+	starts := make([]int, nb+1)
+	for b := 0; b < nb; b++ {
+		starts[b+1] = starts[b] + counts[b]
+	}
+	sortedP := make([]geom.Point, len(pts))
+	sortedI := make([]int, len(pts))
+	pos := append([]int(nil), starts[:nb]...)
+	for i, p := range t.Pts {
+		b := key(p)
+		sortedP[pos[b]] = p
+		sortedI[pos[b]] = t.Perm[i]
+		pos[b]++
+	}
+	copy(t.Pts, sortedP)
+	copy(t.Perm, sortedI)
+
+	// Step 2: each coarse bucket is an independent subtree rooted at a
+	// level-2 box; partition them concurrently.
+	type job struct {
+		bucket int
+		box    *Box
+	}
+	boxesAt := make([]*Box, nb)
+	var jobs []job
+	for b := 0; b < nb; b++ {
+		if counts[b] == 0 {
+			continue
+		}
+		ix := geom.Root
+		for l := coarseLevel - 1; l >= 0; l-- {
+			ix = ix.Child(b >> (3 * l) & 7)
+		}
+		cube := ix.Cube(domain)
+		bx := &Box{
+			Index:  ix,
+			Center: cube.Center(),
+			Side:   cube.Side,
+			Lo:     starts[b],
+			Hi:     starts[b] + counts[b],
+		}
+		boxesAt[b] = bx
+		jobs = append(jobs, job{bucket: b, box: bx})
+	}
+	var wg sync.WaitGroup
+	next := make(chan job, len(jobs))
+	for _, j := range jobs {
+		next <- j
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Per-worker scratch sized to the largest bucket it may see.
+			var scratchP []geom.Point
+			var scratchI []int
+			for j := range next {
+				if n := j.box.NPoints(); len(scratchP) < j.box.Hi {
+					_ = n
+					scratchP = make([]geom.Point, j.box.Hi)
+					scratchI = make([]int, j.box.Hi)
+				}
+				t.split(j.box, threshold, scratchP, scratchI)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Step 3: stitch the shallow prefix — create levels 0..coarseLevel-1
+	// over the occupied coarse boxes — then BFS-number everything.
+	t.Root = &Box{
+		Index:  geom.Root,
+		Center: domain.Center(),
+		Side:   domain.Side,
+		Lo:     0,
+		Hi:     len(pts),
+	}
+	level1 := map[uint64]*Box{}
+	for b := 0; b < nb; b++ {
+		bx := boxesAt[b]
+		if bx == nil {
+			continue
+		}
+		pIx := bx.Index.Parent()
+		parent := level1[pIx.Key()]
+		if parent == nil {
+			cube := pIx.Cube(domain)
+			parent = &Box{
+				Index:  pIx,
+				Center: cube.Center(),
+				Side:   cube.Side,
+				Parent: t.Root,
+				Lo:     bx.Lo,
+				Hi:     bx.Hi,
+			}
+			level1[pIx.Key()] = parent
+			t.Root.Children[pIx.Octant()] = parent
+			t.Root.NChildren++
+		}
+		if bx.Lo < parent.Lo {
+			parent.Lo = bx.Lo
+		}
+		if bx.Hi > parent.Hi {
+			parent.Hi = bx.Hi
+		}
+		bx.Parent = parent
+		parent.Children[bx.Index.Octant()] = bx
+		parent.NChildren++
+	}
+	// Internal ranges span their children (contiguous by the Morton bucket
+	// order).
+	fixRanges(t.Root)
+	// A shallow box that holds no more than threshold points would never
+	// have been split by the sequential builder: collapse it back to a
+	// leaf.
+	for _, p := range t.Root.Children {
+		if p != nil && p.NPoints() <= threshold {
+			p.Children = [8]*Box{}
+			p.NChildren = 0
+		}
+	}
+
+	queue := []*Box{t.Root}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		b.Seq = len(t.Boxes)
+		t.Boxes = append(t.Boxes, b)
+		t.byKey[b.Index.Key()] = b
+		if b.Level() > t.MaxLevel {
+			t.MaxLevel = b.Level()
+		}
+		if b.IsLeaf() {
+			t.Leaves = append(t.Leaves, b)
+			continue
+		}
+		for _, c := range b.Children {
+			if c != nil {
+				queue = append(queue, c)
+			}
+		}
+	}
+	return t
+}
+
+// fixRanges recomputes internal ranges as the min/max over children.
+func fixRanges(b *Box) {
+	if b.IsLeaf() {
+		return
+	}
+	lo, hi := 1<<62, -1
+	for _, c := range b.Children {
+		if c == nil {
+			continue
+		}
+		fixRanges(c)
+		if c.Lo < lo {
+			lo = c.Lo
+		}
+		if c.Hi > hi {
+			hi = c.Hi
+		}
+	}
+	b.Lo, b.Hi = lo, hi
+}
