@@ -1,0 +1,28 @@
+# Standard entry points for the repro repository. Everything uses the Go
+# toolchain only — no external dependencies.
+
+GO ?= go
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The scheduler and executor are the concurrency-critical packages; run
+# them under the race detector (the full tree under -race is slow on small
+# machines and adds nothing — the remaining packages are sequential).
+race:
+	$(GO) test -race -timeout 20m ./internal/amt ./internal/core
+
+vet:
+	$(GO) vet ./...
+
+# Hot-path benchmark suite (deque, M2L cache, end-to-end evaluation);
+# writes BENCH_hotpath.json next to the raw output.
+bench:
+	scripts/bench.sh
+
+ci: build vet test race

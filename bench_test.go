@@ -433,6 +433,47 @@ func BenchmarkEvaluateRealRuntime(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateHotPath is the end-to-end acceptance benchmark of the
+// hot-path overhaul: repeated evaluation of one plan (cube, Laplace,
+// N=50k) through a reusable ParallelEvaluation, the steady-state shape of
+// a time-stepping application. allocs/op divided by the edges metric is
+// the per-edge allocation count, which the executor keeps at ~0 via the
+// prebuilt node tasks and pooled parcel batches.
+func BenchmarkEvaluateHotPath(b *testing.B) {
+	const n = 50000
+	p := cachedPlan(b, "hotpath", func() *core.Plan {
+		sp := points.Generate(points.Cube, n, 1)
+		tp := points.Generate(points.Cube, n, 2)
+		pl, err := core.NewPlan(sp, tp, kernel.NewLaplace(kernel.OrderForDigits(3)), core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return pl
+	})
+	q := points.Charges(n, 3)
+	pe, err := p.NewParallelEvaluation(core.ExecOptions{Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := pe.Run(q); err != nil { // warm the operator caches
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pe.Run(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_, edges := p.Graph.Census()
+	var total int64
+	for _, e := range edges {
+		total += e.Count
+	}
+	b.ReportMetric(float64(total), "edges")
+}
+
 // BenchmarkDirectSum measures the O(N^2) baseline so the FMM crossover is
 // visible next to BenchmarkEvaluateRealRuntime.
 func BenchmarkDirectSum(b *testing.B) {

@@ -79,12 +79,21 @@ type Worker struct {
 	GlobalID int
 	rng      *rand.Rand
 
-	mu    sync.Mutex
-	deque []Task // LIFO at the tail for the owner, FIFO at the head for thieves
-	// high holds priority tasks, always drained before deque. This is the
-	// "binary choice between low and high priority" extension the paper
-	// proposes in Section VI to cure the critical-path starvation.
-	high []Task
+	// normal and high are lock-free Chase–Lev deques (deque.go): LIFO at
+	// the bottom for the owner, FIFO at the top for thieves. high holds
+	// priority tasks, always drained before normal. This is the "binary
+	// choice between low and high priority" extension the paper proposes
+	// in Section VI to cure the critical-path starvation.
+	normal wsDeque
+	high   wsDeque
+	// in receives tasks from goroutines that do not own this worker's
+	// deques (Locality.Spawn, latency-delayed parcels); the owner drains
+	// it ahead of its own deques so injected priority tasks keep beating
+	// queued normal tasks.
+	in inbox
+	// spareHigh/spareNormal are the recycled drain buffers of the inbox.
+	spareHigh   []Task
+	spareNormal []Task
 }
 
 // New creates a runtime with the given configuration. Call Run to execute
@@ -101,12 +110,15 @@ func New(cfg Config) *Runtime {
 	for l := 0; l < cfg.Localities; l++ {
 		loc := &Locality{rt: rt, Rank: l}
 		for w := 0; w < cfg.Workers; w++ {
-			loc.workers = append(loc.workers, &Worker{
+			wk := &Worker{
 				loc:      loc,
 				ID:       w,
 				GlobalID: gid,
 				rng:      rand.New(rand.NewSource(cfg.Seed + int64(gid)*7919 + 1)),
-			})
+			}
+			wk.normal.init()
+			wk.high.init()
+			loc.workers = append(loc.workers, wk)
 			gid++
 		}
 		rt.locs = append(rt.locs, loc)
@@ -135,87 +147,54 @@ func (w *Worker) Rank() int { return w.loc.Rank }
 // Runtime returns the owning runtime.
 func (l *Locality) Runtime() *Runtime { return l.rt }
 
-// push adds a task to the worker's own deque.
-func (w *Worker) push(t Task) {
-	w.mu.Lock()
-	w.deque = append(w.deque, t)
-	w.mu.Unlock()
-}
-
-// pushHigh adds a task to the worker's priority deque.
-func (w *Worker) pushHigh(t Task) {
-	w.mu.Lock()
-	w.high = append(w.high, t)
-	w.mu.Unlock()
-}
-
 // pop removes the most recently pushed task (LIFO: cache locality, as in
-// HPX-5's default scheduler).
+// HPX-5's default scheduler), draining the priority lane first. Owner only.
 func (w *Worker) pop() (Task, bool) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if n := len(w.high); n > 0 {
-		t := w.high[n-1]
-		w.high[n-1] = nil
-		w.high = w.high[:n-1]
+	if t, ok := w.high.pop(); ok {
 		return t, true
 	}
-	n := len(w.deque)
-	if n == 0 {
-		return nil, false
-	}
-	t := w.deque[n-1]
-	w.deque[n-1] = nil
-	w.deque = w.deque[:n-1]
-	return t, true
+	return w.normal.pop()
 }
 
-// steal removes the oldest task (FIFO end), used by thieves.
+// steal removes the oldest task (FIFO end), priority lane first. Used by
+// thieves; lock-free.
 func (w *Worker) steal() (Task, bool) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if len(w.high) > 0 {
-		t := w.high[0]
-		w.high[0] = nil
-		w.high = w.high[1:]
+	if t, ok := w.high.steal(); ok {
 		return t, true
 	}
-	if len(w.deque) == 0 {
-		return nil, false
-	}
-	t := w.deque[0]
-	w.deque[0] = nil
-	w.deque = w.deque[1:]
-	return t, true
+	return w.normal.steal()
 }
 
-// Spawn schedules a task on the worker's own locality (its own deque).
+// Spawn schedules a task on the worker's own deque. It must only be called
+// from code running on this worker (i.e. inside one of its tasks): the
+// lock-free deques have a single owner. Work arriving from outside any
+// worker goes through Locality.Spawn.
 func (w *Worker) Spawn(t Task) {
 	w.loc.rt.pending.Add(1)
-	w.push(t)
+	w.normal.push(t)
 }
 
 // SpawnHigh schedules a priority task: it runs before any normal task of
-// its worker and is preferred by thieves.
+// its worker and is preferred by thieves. Owner-only, like Spawn.
 func (w *Worker) SpawnHigh(t Task) {
 	w.loc.rt.pending.Add(1)
-	w.pushHigh(t)
+	w.high.push(t)
 }
 
-// Spawn schedules a task on the locality, round-robin across its workers.
-// It is the entry point for work arriving from outside any worker (initial
-// tasks, parcel delivery).
+// Spawn schedules a task on the locality, round-robin across its workers'
+// inboxes. It is the entry point for work arriving from outside any worker
+// (initial tasks, parcel delivery, cross-worker LCO continuations).
 func (l *Locality) Spawn(t Task) {
 	l.rt.pending.Add(1)
 	i := int(l.spawnRR.Add(1)-1) % len(l.workers)
-	l.workers[i].push(t)
+	l.workers[i].in.add(t, false)
 }
 
 // SpawnHigh is the priority variant of Spawn.
 func (l *Locality) SpawnHigh(t Task) {
 	l.rt.pending.Add(1)
 	i := int(l.spawnRR.Add(1)-1) % len(l.workers)
-	l.workers[i].pushHigh(t)
+	l.workers[i].in.add(t, true)
 }
 
 // SendParcel sends an active-message parcel of the given payload size to
@@ -280,13 +259,15 @@ func (rt *Runtime) Run(setup func()) Stats {
 	}
 }
 
-// run is the worker scheduling loop: own deque first (LIFO), then random
-// victims within the locality (the paper's "local randomized
+// run is the worker scheduling loop: inbox drained into the own deques
+// (so injected priority work keeps its precedence), own deques (LIFO),
+// then random victims within the locality (the paper's "local randomized
 // workstealing"), then a brief backoff.
 func (w *Worker) run(stop <-chan struct{}) {
 	rt := w.loc.rt
 	backoff := time.Microsecond
 	for {
+		w.in.drain(w)
 		if t, ok := w.pop(); ok {
 			w.execute(t)
 			backoff = time.Microsecond
@@ -318,7 +299,10 @@ func (w *Worker) execute(t Task) {
 	rt.finish()
 }
 
-// trySteal attempts to steal from a random co-located victim.
+// trySteal attempts to steal from a random co-located victim: every
+// victim's deques first (priority lane before normal, per victim), then —
+// only if all deques are dry — one task from a victim inbox, so a backlog
+// behind a busy owner cannot strand the locality.
 func (w *Worker) trySteal() (Task, bool) {
 	ws := w.loc.workers
 	if len(ws) == 1 {
@@ -331,6 +315,15 @@ func (w *Worker) trySteal() (Task, bool) {
 			continue
 		}
 		if t, ok := v.steal(); ok {
+			return t, true
+		}
+	}
+	for i := 0; i < len(ws); i++ {
+		v := ws[(start+i)%len(ws)]
+		if v == w {
+			continue
+		}
+		if t, ok := v.in.steal(); ok {
 			return t, true
 		}
 	}

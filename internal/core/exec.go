@@ -37,6 +37,19 @@ type ExecOptions struct {
 	Gradient bool
 }
 
+func (o ExecOptions) withDefaults() ExecOptions {
+	if o.Localities <= 0 {
+		o.Localities = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.Policy == nil {
+		o.Policy = dist.MinComm{}
+	}
+	return o
+}
+
 // ExecReport describes one parallel evaluation.
 type ExecReport struct {
 	// Gradients holds the per-target potential gradient when
@@ -61,22 +74,71 @@ const parcelOverhead = 16
 // sequentially (the paper's cache-locality choice), remote edges coalesced
 // into one parcel per destination locality carrying the expansion data and
 // the relevant edges.
+//
+// For the paper's iterative use case (many charge vectors over one DAG)
+// prefer NewParallelEvaluation, which allocates the payloads and the LCO
+// network once and reuses them run over run.
 func (p *Plan) Evaluate(charges []float64, opts ExecOptions) ([]float64, ExecReport, error) {
-	if opts.Localities <= 0 {
-		opts.Localities = 1
-	}
-	if opts.Workers <= 0 {
-		opts.Workers = 1
-	}
-	if opts.Policy == nil {
-		opts.Policy = dist.MinComm{}
-	}
-	st, err := p.newState(charges, opts.Gradient)
+	pe, err := p.NewParallelEvaluation(opts)
 	if err != nil {
 		return nil, ExecReport{}, err
 	}
+	return pe.Run(charges)
+}
+
+// ParallelEvaluation is a reusable parallel evaluation context over one
+// Plan: the expansion payloads, the LCO trigger counters and the node
+// continuations are allocated once, so steady-state runs allocate nothing
+// per evaluated edge (the per-run cost is one fresh single-shot runtime
+// plus the returned potential vector).
+type ParallelEvaluation struct {
+	plan *Plan
+	opts ExecOptions
+	ex   *executor
+}
+
+// NewParallelEvaluation allocates a parallel evaluation context. The DAG
+// placement is computed per Run (it depends only on the policy and the
+// locality count, but reassigning keeps Plan sharing across contexts with
+// different shapes correct).
+func (p *Plan) NewParallelEvaluation(opts ExecOptions) (*ParallelEvaluation, error) {
+	opts = opts.withDefaults()
+	st, err := p.newState(make([]float64, len(p.Source.Pts)), opts.Gradient)
+	if err != nil {
+		return nil, err
+	}
+	g := p.Graph
+	ex := &executor{
+		st:        st,
+		g:         g,
+		tracer:    opts.Tracer,
+		priority:  opts.Priority,
+		remaining: make([]atomic.Int32, len(g.Nodes)),
+		locks:     make([]sync.Mutex, len(g.Nodes)),
+		tasks:     make([]amt.Task, len(g.Nodes)),
+	}
+	// One continuation closure per node, built once and spawned by pointer
+	// on every trigger — the hot path never allocates a closure.
+	for i := range ex.tasks {
+		id := int32(i)
+		ex.tasks[i] = func(w *amt.Worker) { ex.runNode(w, id) }
+	}
+	return &ParallelEvaluation{plan: p, opts: opts, ex: ex}, nil
+}
+
+// Run evaluates the DAG for one charge vector on a fresh runtime, reusing
+// the context's payload buffers and LCO network.
+func (e *ParallelEvaluation) Run(charges []float64) ([]float64, ExecReport, error) {
+	p, ex, opts := e.plan, e.ex, e.opts
+	if len(charges) != len(p.Source.Pts) {
+		return nil, ExecReport{}, fmt.Errorf("core: %d charges for %d sources", len(charges), len(p.Source.Pts))
+	}
+	ex.st.reset(charges)
 	g := p.Graph
 	opts.Policy.Assign(g, opts.Localities)
+	for i := range g.Nodes {
+		ex.remaining[i].Store(g.Nodes[i].In)
+	}
 
 	rt := amt.New(amt.Config{
 		Localities: opts.Localities,
@@ -84,18 +146,7 @@ func (p *Plan) Evaluate(charges []float64, opts ExecOptions) ([]float64, ExecRep
 		Latency:    opts.Latency,
 		Seed:       opts.Seed,
 	})
-	ex := &executor{
-		st:        st,
-		g:         g,
-		rt:        rt,
-		tracer:    opts.Tracer,
-		priority:  opts.Priority,
-		remaining: make([]atomic.Int32, len(g.Nodes)),
-		locks:     make([]sync.Mutex, len(g.Nodes)),
-	}
-	for i := range g.Nodes {
-		ex.remaining[i].Store(g.Nodes[i].In)
-	}
+	ex.rt = rt
 
 	start := time.Now()
 	stats := rt.Run(func() {
@@ -103,9 +154,9 @@ func (p *Plan) Evaluate(charges []float64, opts ExecOptions) ([]float64, ExecRep
 			n := &g.Nodes[id]
 			loc := rt.Locality(int(n.Locality))
 			if ex.isHigh(id) {
-				loc.SpawnHigh(ex.nodeTask(id))
+				loc.SpawnHigh(ex.tasks[id])
 			} else {
-				loc.Spawn(ex.nodeTask(id))
+				loc.Spawn(ex.tasks[id])
 			}
 		}
 	})
@@ -118,8 +169,8 @@ func (p *Plan) Evaluate(charges []float64, opts ExecOptions) ([]float64, ExecRep
 				i, g.Nodes[i].Kind, ex.remaining[i].Load())
 		}
 	}
-	return st.potentials(), ExecReport{
-		Gradients:   st.gradients(),
+	return ex.st.potentials(), ExecReport{
+		Gradients:   ex.st.gradients(),
 		Runtime:     stats,
 		Elapsed:     elapsed,
 		RemoteBytes: dist.RemoteBytes(g),
@@ -129,15 +180,16 @@ func (p *Plan) Evaluate(charges []float64, opts ExecOptions) ([]float64, ExecRep
 	}, nil
 }
 
-// executor is the LCO network of one evaluation.
+// executor is the LCO network of one evaluation context.
 type executor struct {
 	st        *state
 	g         *dag.Graph
-	rt        *amt.Runtime
+	rt        *amt.Runtime // the current run's runtime (single-shot)
 	tracer    *trace.Tracer
 	priority  bool
 	remaining []atomic.Int32
 	locks     []sync.Mutex
+	tasks     []amt.Task // prebuilt node continuations, indexed by node ID
 }
 
 // isHigh reports whether a node's continuation carries the high priority
@@ -150,38 +202,84 @@ func (ex *executor) isHigh(id int32) bool {
 	return k == dag.NodeS || k == dag.NodeM
 }
 
-// nodeTask returns the continuation of node id: process the out-edge list.
-// It runs once, when the node's LCO triggers (all inputs arrived).
-func (ex *executor) nodeTask(id int32) amt.Task {
-	return func(w *amt.Worker) {
-		n := &ex.g.Nodes[id]
-		myLoc := int32(w.Rank())
-		// Local edges first, sequentially: the large input payload is
-		// reused while hot (Section VI discusses this trade-off).
-		var remote map[int32][]dag.Edge
-		for _, e := range n.Out {
-			dest := ex.g.Nodes[e.To].Locality
-			if dest == myLoc {
-				ex.deliver(w, n, e)
-				continue
-			}
-			if remote == nil {
-				remote = make(map[int32][]dag.Edge)
-			}
-			remote[dest] = append(remote[dest], e)
-		}
-		// One coalesced parcel per destination locality: expansion data +
-		// edge descriptors travel once, the transforms run at the receiver.
-		for dest, edges := range remote {
-			edges := edges
-			bytes := int(n.Bytes) + parcelOverhead*len(edges)
-			w.SendParcel(int(dest), bytes, func(w2 *amt.Worker) {
-				for _, e := range edges {
-					ex.deliver(w2, n, e)
-				}
-			})
+// parcelEdges is a pooled remote-edge list: the out edges of one node
+// bound for one destination locality. Ownership passes to the parcel
+// action, which recycles it after delivering every edge.
+type parcelEdges struct {
+	edges []dag.Edge
+}
+
+var parcelEdgesPool = sync.Pool{New: func() any { return new(parcelEdges) }}
+
+// remoteBatch groups one node's remote out-edges by destination locality.
+// Nodes touch only a few localities, so a linear scan over a small pooled
+// slice beats a map allocation per trigger.
+type remoteBatch struct {
+	dests []int32
+	lists []*parcelEdges
+}
+
+var remoteBatchPool = sync.Pool{New: func() any { return new(remoteBatch) }}
+
+func (b *remoteBatch) add(dest int32, e dag.Edge) {
+	for i, d := range b.dests {
+		if d == dest {
+			b.lists[i].edges = append(b.lists[i].edges, e)
+			return
 		}
 	}
+	pe := parcelEdgesPool.Get().(*parcelEdges)
+	pe.edges = append(pe.edges[:0], e)
+	b.dests = append(b.dests, dest)
+	b.lists = append(b.lists, pe)
+}
+
+func (b *remoteBatch) release() {
+	for i := range b.lists {
+		b.lists[i] = nil // ownership moved to the parcel actions
+	}
+	b.dests = b.dests[:0]
+	b.lists = b.lists[:0]
+	remoteBatchPool.Put(b)
+}
+
+// runNode is the continuation of node id: process the out-edge list. It
+// runs once per evaluation, when the node's LCO triggers (all inputs
+// arrived).
+func (ex *executor) runNode(w *amt.Worker, id int32) {
+	n := &ex.g.Nodes[id]
+	myLoc := int32(w.Rank())
+	// Local edges first, sequentially: the large input payload is reused
+	// while hot (Section VI discusses this trade-off).
+	var batch *remoteBatch
+	for _, e := range n.Out {
+		dest := ex.g.Nodes[e.To].Locality
+		if dest == myLoc {
+			ex.deliver(w, n, e)
+			continue
+		}
+		if batch == nil {
+			batch = remoteBatchPool.Get().(*remoteBatch)
+		}
+		batch.add(dest, e)
+	}
+	if batch == nil {
+		return
+	}
+	// One coalesced parcel per destination locality: expansion data +
+	// edge descriptors travel once, the transforms run at the receiver.
+	for i, dest := range batch.dests {
+		pe := batch.lists[i]
+		bytes := int(n.Bytes) + parcelOverhead*len(pe.edges)
+		w.SendParcel(int(dest), bytes, func(w2 *amt.Worker) {
+			for _, e := range pe.edges {
+				ex.deliver(w2, n, e)
+			}
+			pe.edges = pe.edges[:0]
+			parcelEdgesPool.Put(pe)
+		})
+	}
+	batch.release()
 }
 
 // deliver applies one edge into its target LCO: the transform plus
@@ -209,15 +307,15 @@ func (ex *executor) deliver(w *amt.Worker, from *dag.Node, e dag.Edge) {
 		high := ex.isHigh(to.ID)
 		switch {
 		case int32(w.Rank()) == to.Locality && high:
-			w.SpawnHigh(ex.nodeTask(to.ID))
+			w.SpawnHigh(ex.tasks[to.ID])
 		case int32(w.Rank()) == to.Locality:
-			w.Spawn(ex.nodeTask(to.ID))
+			w.Spawn(ex.tasks[to.ID])
 		case high:
-			ex.rt.Locality(int(to.Locality)).SpawnHigh(ex.nodeTask(to.ID))
+			ex.rt.Locality(int(to.Locality)).SpawnHigh(ex.tasks[to.ID])
 		default:
 			// The LCO lives on its home locality; its continuation runs
 			// there.
-			ex.rt.Locality(int(to.Locality)).Spawn(ex.nodeTask(to.ID))
+			ex.rt.Locality(int(to.Locality)).Spawn(ex.tasks[to.ID])
 		}
 	}
 }

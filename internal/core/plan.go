@@ -159,6 +159,9 @@ func (s *state) reset(charges []float64) {
 	for i := range s.pot {
 		s.pot[i] = 0
 	}
+	for i := range s.grad {
+		s.grad[i] = geom.Point{}
+	}
 	zero := func(v []complex128) {
 		for j := range v {
 			v[j] = 0

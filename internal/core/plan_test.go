@@ -52,6 +52,9 @@ func maxRelErr(got []float64, ref map[int]float64) float64 {
 // both kernels, both distributions, distinct source and target ensembles,
 // threshold 60.
 func TestAccuracyEndToEnd(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sequential accuracy gate: no concurrency to instrument, ~10x slower under race")
+	}
 	const n = 6000
 	p := kernel.OrderForDigits(3)
 	for _, distrib := range []points.Distribution{points.Cube, points.Sphere} {
@@ -78,7 +81,76 @@ func TestAccuracyEndToEnd(t *testing.T) {
 	}
 }
 
+// TestAccuracyM2LPaths extends the E9 gate to the hot-path overhaul's
+// M→L operator cache: the basic method's M2L edges are evaluated once
+// through the cached dense translation matrices and once through the
+// projection fallback, and both must pass the 3-digit gate against direct
+// summation — for both kernels, on the cube and sphere distributions.
+// The two paths must also agree with each other to near machine
+// precision, since the cached matrix is built from the same translation
+// operator it replaces.
+func TestAccuracyM2LPaths(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sequential accuracy gate: no concurrency to instrument, ~10x slower under race")
+	}
+	const n = 600
+	p := kernel.OrderForDigits(3)
+	for _, distrib := range []points.Distribution{points.Cube, points.Sphere} {
+		sp := points.Generate(distrib, n, 11)
+		tp := points.Generate(distrib, n, 22)
+		q := points.Charges(n, 33)
+		for _, k := range []kernel.Kernel{kernel.NewLaplace(p), kernel.NewYukawa(p, 4.0)} {
+			ck, ok := k.(interface{ SetM2LCache(bool) })
+			if !ok {
+				t.Fatalf("%s kernel does not expose the M2L cache toggle", k.Name())
+			}
+			plan, err := NewPlan(sp, tp, k, Options{Method: dag.Basic, Threshold: 60})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Guard against a vacuous pass: the plan must actually carry
+			// M2L edges for the cache to translate.
+			if plan.Graph.EdgeCount[dag.OpM2L] == 0 {
+				t.Fatalf("%v/%s: basic plan has no M2L edges", distrib, k.Name())
+			}
+			cached, err := plan.EvaluateSequential(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ck.SetM2LCache(false)
+			projected, err := plan.EvaluateSequential(q)
+			ck.SetM2LCache(true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(44))
+			ref := directRef(k, sp, q, tp, sampleIdx(rng, n, 50))
+			if e := maxRelErr(cached, ref); e > 1.5e-3 {
+				t.Errorf("%v/%s cached M2L: rel err %.2e > 1.5e-3", distrib, k.Name(), e)
+			}
+			if e := maxRelErr(projected, ref); e > 1.5e-3 {
+				t.Errorf("%v/%s projected M2L: rel err %.2e > 1.5e-3", distrib, k.Name(), e)
+			}
+			var den float64
+			for i := range projected {
+				if m := math.Abs(projected[i]); m > den {
+					den = m
+				}
+			}
+			for i := range cached {
+				if math.Abs(cached[i]-projected[i])/den > 1e-9 {
+					t.Fatalf("%v/%s: cached and projected M2L diverge at %d: %v vs %v",
+						distrib, k.Name(), i, cached[i], projected[i])
+				}
+			}
+		}
+	}
+}
+
 func TestAccuracyBasicMethodMatchesAdvanced(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sequential accuracy gate: no concurrency to instrument, ~10x slower under race")
+	}
 	const n = 4000
 	sp := points.Generate(points.Cube, n, 1)
 	tp := points.Generate(points.Cube, n, 2)

@@ -84,8 +84,17 @@ func (b *base) M2M(from, to geom.Point, childSide float64, in, out []complex128)
 	b.wsp.put(ws)
 }
 
-// M2L implements Kernel.
+// M2L implements Kernel. The list-2 interaction offsets of same-level
+// boxes recur for every box of a level (the classic 189-offset interaction
+// list, up to 316 distinct lattice offsets with |d|∞ in [2,3]), so the
+// dense M->L operator is built once per (kernel, box side, lattice offset)
+// and replayed as a single matrix–vector multiply. Geometry off that
+// lattice (or with the cache disabled) falls back to spectral projection.
 func (b *base) M2L(from, to geom.Point, side float64, in, out []complex128) {
+	if mx := b.m2lMatrix(from, to, side); mx != nil {
+		applyMatrix(mx, in, out)
+		return
+	}
 	ws := b.wsp.get(b)
 	b.translate(ws, from, to, b.aM2L*side, in, b.radOut, b.radReg, out)
 	b.wsp.put(ws)
@@ -145,6 +154,87 @@ func (b *base) xlMatrix(kind uint8, off geom.Point, childSide float64, inRF, out
 	}
 	actual, _ := b.xl.LoadOrStore(key, mx)
 	return actual.([]complex128)
+}
+
+// m2lCacheKinds start above the M2M/L2L kinds in the shared xl cache.
+const m2lKind = 2
+
+// SetM2LCache enables or disables the cached-operator M->L path (enabled
+// by default). The accuracy tests toggle it to compare the cached matrices
+// against pure spectral projection; it is not safe to flip concurrently
+// with operator calls.
+func (b *base) SetM2LCache(on bool) { b.m2lCacheOff = !on }
+
+// m2lMatrix returns the cached dense M->L matrix for a same-level list-2
+// translation, building it on first use, or nil when the offset is not on
+// the well-separated interaction lattice (callers then fall back to
+// projection). Keyed by exact box side bits plus the integer offset, so
+// the scale-variant Yukawa kernel gets per-level operators for free.
+func (b *base) m2lMatrix(from, to geom.Point, side float64) []complex128 {
+	if b.m2lCacheOff {
+		return nil
+	}
+	off := to.Sub(from)
+	dx, okx := latticeCoord(off.X, side)
+	dy, oky := latticeCoord(off.Y, side)
+	dz, okz := latticeCoord(off.Z, side)
+	if !okx || !oky || !okz {
+		return nil
+	}
+	max := abs8(dx)
+	if v := abs8(dy); v > max {
+		max = v
+	}
+	if v := abs8(dz); v > max {
+		max = v
+	}
+	if max < 2 || max > 3 {
+		// Nearer than well-separated (the projection sphere would not
+		// enclose the targets) or beyond the list-2 lattice (unbounded key
+		// space): leave it to the projection path.
+		return nil
+	}
+	key := xlKey{kind: m2lKind, sideBits: math.Float64bits(side), ox: dx, oy: dy, oz: dz}
+	if v, ok := b.xl.Load(key); ok {
+		return v.([]complex128)
+	}
+	sq := b.MLSize()
+	mx := make([]complex128, sq*sq)
+	ws := b.newWorkspace()
+	e := make([]complex128, sq)
+	col := make([]complex128, sq)
+	toP := geom.Point{X: float64(dx) * side, Y: float64(dy) * side, Z: float64(dz) * side}
+	for j := 0; j < sq; j++ {
+		e[j] = 1
+		for i := range col {
+			col[i] = 0
+		}
+		b.translate(ws, geom.Point{}, toP, b.aM2L*side, e, b.radOut, b.radReg, col)
+		for i := range col {
+			mx[i*sq+j] = col[i]
+		}
+		e[j] = 0
+	}
+	actual, _ := b.xl.LoadOrStore(key, mx)
+	return actual.([]complex128)
+}
+
+// latticeCoord reports whether v is (to rounding) an integer multiple of
+// the box side within the interaction range, and which multiple.
+func latticeCoord(v, side float64) (int8, bool) {
+	d := v / side
+	r := math.Round(d)
+	if math.Abs(d-r) > 1e-9*math.Max(1, math.Abs(d)) || math.Abs(r) > 3 {
+		return 0, false
+	}
+	return int8(r), true
+}
+
+func abs8(v int8) int8 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // signOf reports whether v is (to rounding) +h or -h and with which sign.

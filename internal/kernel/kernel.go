@@ -121,8 +121,12 @@ type base struct {
 	wsp      wsChan    // scratch workspace free list
 
 	// xl caches dense translation matrices for the eight fixed
-	// parent/child offsets of M->M and L->L (see api.go).
+	// parent/child offsets of M->M and L->L and for the per-(side,
+	// lattice-offset) list-2 M->L operators (see api.go).
 	xl sync.Map
+	// m2lCacheOff disables the cached M->L path (SetM2LCache), so the
+	// accuracy tests can compare it against pure projection.
+	m2lCacheOff bool
 }
 
 type sphNode struct {

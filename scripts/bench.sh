@@ -1,0 +1,44 @@
+#!/bin/sh
+# Runs the hot-path benchmark suite (lock-free deque, cached M→L
+# operators, zero-allocation evaluation) and writes the results as
+# machine-readable JSON to BENCH_hotpath.json in the repository root.
+#
+# Usage: scripts/bench.sh [extra go test args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test ./internal/amt -run '^$' \
+    -bench 'BenchmarkDequePushPop|BenchmarkStealContention' \
+    -benchmem "$@" | tee "$raw"
+go test ./internal/kernel -run '^$' \
+    -bench 'BenchmarkM2LCachedVsProjected' \
+    -benchmem "$@" | tee -a "$raw"
+go test . -run '^$' \
+    -bench 'BenchmarkEvaluateHotPath' \
+    -benchtime 3x "$@" | tee -a "$raw"
+
+# Convert `go test -bench` lines into a JSON array: one object per
+# benchmark with ns/op, allocations, and any custom ReportMetric columns.
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"name\": \"%s\", \"iterations\": %s", name, iters
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/[^A-Za-z0-9_]/, "_", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END { print "\n]" }
+' "$raw" > BENCH_hotpath.json
+
+echo "wrote BENCH_hotpath.json"
