@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race vet bench chaos chaos-short ci
 
 build:
 	$(GO) build ./...
@@ -25,4 +25,14 @@ vet:
 bench:
 	scripts/bench.sh
 
-ci: build vet test race
+# Chaos harness: full cube/sphere x Laplace/Yukawa evaluations over a
+# fault-injected parcel wire (drop/duplicate/reorder/slow-rank), gated at
+# 1e-12 against the fault-free potentials. chaos-short keeps only the
+# combined acceptance profile (still all four workloads).
+chaos:
+	$(GO) test ./internal/amt -run TestChaosProfiles -v -count=1 -timeout 15m
+
+chaos-short:
+	$(GO) test ./internal/amt -run TestChaosProfiles -short -count=1 -timeout 10m
+
+ci: build vet test race chaos-short

@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"sort"
 
+	"repro/internal/amt"
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/dist"
@@ -43,6 +44,17 @@ func main() {
 		traceOut = flag.String("trace-out", "", "with -real: write the event trace as JSON lines to this file (read it back with cmd/traceview)")
 		digits   = flag.Int("digits", 3, "accuracy digits")
 		thr      = flag.Int("threshold", 60, "refinement threshold")
+
+		// Fault-injection knobs for -real runs: the parcel wire becomes an
+		// amt.FaultyTransport with reliable ack/retry delivery on top, and
+		// the transport counters are reported so the run is inspectable.
+		locs      = flag.Int("locs", 1, "with -real: localities to split the workers across")
+		drop      = flag.Float64("drop", 0, "with -real: parcel drop probability")
+		dup       = flag.Float64("dup", 0, "with -real: parcel duplication probability")
+		reorder   = flag.Bool("reorder", false, "with -real: randomly reorder parcel arrivals")
+		slowRank  = flag.Int("slow-rank", -1, "with -real: rank to pause (requires -slow-delay)")
+		slowDelay = flag.Duration("slow-delay", 0, "with -real: extra delay per parcel to/from -slow-rank")
+		faultSeed = flag.Int64("fault-seed", 1, "with -real: fault RNG seed")
 	)
 	flag.Parse()
 	if !*fig4 && !*fig5 && !*real {
@@ -60,7 +72,14 @@ func main() {
 		*n, len(plan.Graph.Nodes), plan.Graph.NumEdges())
 
 	if *real {
-		runReal(plan, *n, *traceOut)
+		var fault *amt.FaultProfile
+		if *drop > 0 || *dup > 0 || *reorder || (*slowRank >= 0 && *slowDelay > 0) {
+			fault = &amt.FaultProfile{
+				Seed: *faultSeed, Drop: *drop, Duplicate: *dup, Reorder: *reorder,
+				SlowRank: *slowRank, SlowDelay: *slowDelay,
+			}
+		}
+		runReal(plan, *n, *traceOut, *locs, fault)
 	}
 
 	cm := sim.PaperCostModel()
@@ -145,13 +164,23 @@ func simulate(g *dag.Graph, cm sim.CostModel, cores int) (*trace.Utilization, si
 	return u, r
 }
 
-// runReal executes the DAG on the goroutine runtime of this machine and
-// prints measured utilization and per-op averages.
-func runReal(plan *core.Plan, n int, traceOut string) {
-	w := runtime.GOMAXPROCS(0)
+// runReal executes the DAG on the goroutine runtime of this machine
+// (optionally split across simulated localities with an injected-fault
+// parcel wire) and prints measured utilization, per-op averages, and the
+// transport counters.
+func runReal(plan *core.Plan, n int, traceOut string, locs int, fault *amt.FaultProfile) {
+	if locs < 1 {
+		locs = 1
+	}
+	w := runtime.GOMAXPROCS(0) / locs
+	if w < 1 {
+		w = 1
+	}
 	q := points.Charges(n, 3)
-	tr := trace.New(w)
-	_, rep, err := plan.Evaluate(q, core.ExecOptions{Workers: w, Tracer: tr})
+	tr := trace.New(locs * w)
+	_, rep, err := plan.Evaluate(q, core.ExecOptions{
+		Localities: locs, Workers: w, Tracer: tr, Fault: fault,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -169,9 +198,14 @@ func runReal(plan *core.Plan, n int, traceOut string) {
 		}
 		fmt.Printf("# trace written to %s (%d events)\n", traceOut, len(events))
 	}
-	fmt.Printf("\n# real runtime: %d workers, elapsed %v, %s\n", w, rep.Elapsed, rep.Runtime)
+	totalW := locs * w
+	fmt.Printf("\n# real runtime: %d localities x %d workers, elapsed %v, %s\n",
+		locs, w, rep.Elapsed, rep.Runtime)
+	ts := rep.Runtime.Transport
+	fmt.Printf("# transport: sent=%d retried=%d acked=%d delivered=%d deduped=%d dropped=%d duplicated=%d deadline-exceeded=%d\n",
+		ts.Sent, ts.Retried, ts.Acked, ts.Delivered, ts.Deduped, ts.Dropped, ts.Duplicated, ts.DeadlineExceeded)
 	start, end := trace.Span(events)
-	u := trace.Analyze(events, w, 100, start, end)
+	u := trace.Analyze(events, totalW, 100, start, end)
 	var avg float64
 	for _, v := range u.Total {
 		avg += v
@@ -184,7 +218,29 @@ func runReal(plan *core.Plan, n int, traceOut string) {
 		ops = append(ops, int(c))
 	}
 	sort.Ints(ops)
+	netEvents := map[string]int{}
+	for _, ev := range events {
+		if name := trace.NetClassName(ev.Class); name != "" {
+			netEvents[name]++
+		}
+	}
 	for _, c := range ops {
+		// Transport fault markers are zero-duration; report their counts
+		// separately instead of a meaningless average.
+		if trace.NetClassName(uint8(c)) != "" {
+			continue
+		}
 		fmt.Printf("#   %-5v %10.2f\n", dag.OpKind(c), am[uint8(c)])
+	}
+	if len(netEvents) > 0 {
+		var names []string
+		for name := range netEvents {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("# transport fault events:\n")
+		for _, name := range names {
+			fmt.Printf("#   %-12s %6d\n", name, netEvents[name])
+		}
 	}
 }

@@ -24,6 +24,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Task is a unit of lightweight work. The worker executing the task is
@@ -36,10 +38,24 @@ type Config struct {
 	Localities int
 	// Workers is the number of scheduler threads per locality (default 1).
 	Workers int
-	// Latency is an optional injected delay per remote parcel.
+	// Latency is an optional injected delay per remote parcel (honored by
+	// the default PerfectTransport; a custom Transport models its own
+	// delays).
 	Latency time.Duration
-	// Seed seeds the per-worker steal RNGs (deterministic scheduling noise).
+	// Seed seeds the per-worker steal RNGs (deterministic scheduling noise)
+	// and the delivery layer's backoff jitter.
 	Seed int64
+	// Transport is the wire remote parcels travel over; nil defaults to
+	// the in-process PerfectTransport honoring Latency. An unreliable
+	// transport (e.g. a FaultyTransport) automatically engages the
+	// sequence/ack/retry delivery layer tuned by Delivery.
+	Transport Transport
+	// Delivery tunes the reliable-delivery layer used over unreliable
+	// transports (zero value = defaults).
+	Delivery DeliveryConfig
+	// Tracer, if non-nil, receives transport fault events (retry, drop,
+	// duplicate, deadline-exceeded) as virtual trace events.
+	Tracer *trace.Tracer
 }
 
 // Runtime is the in-process AMT runtime.
@@ -53,6 +69,9 @@ type Runtime struct {
 
 	// Global address space (gas.go).
 	mem *gas
+
+	// Parcel delivery engine over cfg.Transport (delivery.go).
+	net *delivery
 
 	// Stats.
 	parcelsSent  atomic.Int64
@@ -105,7 +124,14 @@ func New(cfg Config) *Runtime {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
+	if cfg.Transport == nil {
+		cfg.Transport = &PerfectTransport{Latency: cfg.Latency}
+	}
+	if ft, ok := cfg.Transport.(*FaultyTransport); ok && ft.Tracer == nil {
+		ft.Tracer = cfg.Tracer
+	}
 	rt := &Runtime{cfg: cfg, done: make(chan struct{})}
+	rt.net = newDelivery(rt, cfg.Transport, cfg.Delivery, cfg.Seed)
 	gid := 0
 	for l := 0; l < cfg.Localities; l++ {
 		loc := &Locality{rt: rt, Rank: l}
@@ -200,7 +226,10 @@ func (l *Locality) SpawnHigh(t Task) {
 // SendParcel sends an active-message parcel of the given payload size to
 // the destination locality, where action runs as a lightweight thread.
 // Sending to the local rank is a plain spawn (no network accounting), which
-// is how HPX-5 abstracts shared- vs distributed-memory execution.
+// is how HPX-5 abstracts shared- vs distributed-memory execution. Remote
+// sends travel the configured Transport; over an unreliable wire the
+// delivery layer guarantees the action is spawned at most once (exactly
+// once unless the delivery deadline is exceeded).
 func (w *Worker) SendParcel(dest int, bytes int, action Task) {
 	rt := w.loc.rt
 	if dest == w.loc.Rank {
@@ -209,15 +238,11 @@ func (w *Worker) SendParcel(dest int, bytes int, action Task) {
 	}
 	rt.parcelsSent.Add(1)
 	rt.parcelBytes.Add(int64(bytes))
-	if rt.cfg.Latency > 0 {
-		rt.pending.Add(1)
-		time.AfterFunc(rt.cfg.Latency, func() {
-			rt.locs[dest].Spawn(action)
-			rt.finish()
-		})
+	if rt.net.fastPath {
+		rt.locs[dest].Spawn(action)
 		return
 	}
-	rt.locs[dest].Spawn(action)
+	rt.net.send(w.loc.Rank, dest, bytes, action)
 }
 
 // finish marks one pending unit complete.
@@ -256,6 +281,7 @@ func (rt *Runtime) Run(setup func()) Stats {
 		ParcelBytes:  rt.parcelBytes.Load(),
 		Steals:       rt.stealsOK.Load(),
 		FailedSteals: rt.stealsFailed.Load(),
+		Transport:    rt.net.stats(),
 	}
 }
 
@@ -337,9 +363,18 @@ type Stats struct {
 	ParcelBytes  int64
 	Steals       int64
 	FailedSteals int64
+	// Transport counts delivery-layer and wire activity (retries, dedups,
+	// injected faults). All-zero except Sent/Acked-style fields when the
+	// wire is unreliable; fully zero on the perfect fast path.
+	Transport TransportStats
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("tasks=%d parcels=%d parcelBytes=%d steals=%d failedSteals=%d",
+	out := fmt.Sprintf("tasks=%d parcels=%d parcelBytes=%d steals=%d failedSteals=%d",
 		s.TasksRun, s.ParcelsSent, s.ParcelBytes, s.Steals, s.FailedSteals)
+	if t := s.Transport; t.Sent+t.Retried+t.Dropped+t.Duplicated+t.Deduped+t.DeadlineExceeded > 0 {
+		out += fmt.Sprintf(" transport[sent=%d retried=%d acked=%d delivered=%d deduped=%d dropped=%d duplicated=%d deadline=%d]",
+			t.Sent, t.Retried, t.Acked, t.Delivered, t.Deduped, t.Dropped, t.Duplicated, t.DeadlineExceeded)
+	}
+	return out
 }

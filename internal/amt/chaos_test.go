@@ -1,0 +1,183 @@
+// Chaos harness: full multipole evaluations (cube/sphere x Laplace/Yukawa)
+// executed over a fault-injected parcel wire, gated bit-for-bit-tight
+// (1e-12 relative) against the fault-free run. This is the acceptance
+// harness for the transport stack: the DAG tolerates arbitrary edge
+// reordering (Ltaief & Yokota; Agullo et al.), so at-least-once delivery
+// with exactly-once effect must leave the potentials unchanged under drops,
+// duplication, reordering, and a paused locality.
+//
+// Run the full matrix with `make chaos`; `go test -short` (the ci target)
+// keeps the acceptance profile on all four workloads.
+package amt_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/amt"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/points"
+)
+
+const (
+	chaosLocalities = 4
+	chaosWorkers    = 2
+	chaosTol        = 1e-12
+)
+
+type chaosWorkload struct {
+	name string
+	dist points.Distribution
+	kern func() kernel.Kernel
+}
+
+func chaosWorkloads() []chaosWorkload {
+	p := kernel.OrderForDigits(3)
+	return []chaosWorkload{
+		{"cube/laplace", points.Cube, func() kernel.Kernel { return kernel.NewLaplace(p) }},
+		{"cube/yukawa", points.Cube, func() kernel.Kernel { return kernel.NewYukawa(p, 4.0) }},
+		{"sphere/laplace", points.Sphere, func() kernel.Kernel { return kernel.NewLaplace(p) }},
+		{"sphere/yukawa", points.Sphere, func() kernel.Kernel { return kernel.NewYukawa(p, 4.0) }},
+	}
+}
+
+type chaosProfile struct {
+	name  string
+	fault amt.FaultProfile
+	// acceptance marks the ISSUE's gating profile: drop=10%, dup=10%,
+	// reorder on, one paused locality — it must observe at least one retry
+	// and one dedup.
+	acceptance bool
+}
+
+func chaosProfiles() []chaosProfile {
+	return []chaosProfile{
+		{name: "drop10", fault: amt.FaultProfile{Drop: 0.10}},
+		{name: "dup10", fault: amt.FaultProfile{Duplicate: 0.10}},
+		{name: "reorder", fault: amt.FaultProfile{Reorder: true, Delay: 200 * time.Microsecond}},
+		{name: "slowrank", fault: amt.FaultProfile{SlowRank: 1, SlowDelay: 3 * time.Millisecond}},
+		{name: "chaos", acceptance: true, fault: amt.FaultProfile{
+			Drop: 0.10, Duplicate: 0.10,
+			Reorder: true, ReorderJitter: time.Millisecond,
+			SlowRank: 1, SlowDelay: 3 * time.Millisecond,
+		}},
+	}
+}
+
+// chaosDelivery: the retry clock is tuned to the profiles' delay scale —
+// base backoff above one slow-rank round trip would hide spurious retries,
+// but spurious retransmits are harmless (deduped), so a snappy base keeps
+// the harness fast.
+func chaosDelivery() amt.DeliveryConfig {
+	return amt.DeliveryConfig{
+		RetryBase: 4 * time.Millisecond,
+		RetryMax:  64 * time.Millisecond,
+		Deadline:  120 * time.Second,
+	}
+}
+
+// TestChaosProfiles is the chaos harness entry point.
+func TestChaosProfiles(t *testing.T) {
+	n := 1500
+	if chaosRace {
+		n = 800
+	}
+	profiles := chaosProfiles()
+	if testing.Short() || chaosRace {
+		// Short/instrumented runs keep only the acceptance profile (which
+		// subsumes every fault class) across all four workloads.
+		var keep []chaosProfile
+		for _, pf := range profiles {
+			if pf.acceptance {
+				keep = append(keep, pf)
+			}
+		}
+		profiles = keep
+	}
+
+	for _, wl := range chaosWorkloads() {
+		wl := wl
+		t.Run(wl.name, func(t *testing.T) {
+			sp := points.Generate(wl.dist, n, 1)
+			tp := points.Generate(wl.dist, n, 2)
+			q := points.Charges(n, 3)
+			plan, err := core.NewPlan(sp, tp, wl.kern(), core.Options{Threshold: 40})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := plan.Evaluate(q, core.ExecOptions{
+				Localities: chaosLocalities, Workers: chaosWorkers, Seed: 99,
+			})
+			if err != nil {
+				t.Fatalf("fault-free reference run: %v", err)
+			}
+
+			for _, pf := range profiles {
+				pf := pf
+				t.Run(pf.name, func(t *testing.T) {
+					fault := pf.fault
+					fault.Seed = 42
+					got, rep, err := plan.Evaluate(q, core.ExecOptions{
+						Localities: chaosLocalities, Workers: chaosWorkers, Seed: 99,
+						Fault: &fault, Delivery: chaosDelivery(),
+					})
+					if err != nil {
+						t.Fatalf("%s under %s: %v", wl.name, pf.name, err)
+					}
+					assertChaosClose(t, got, want)
+
+					ts := rep.Runtime.Transport
+					t.Logf("%s/%s: %+v", wl.name, pf.name, ts)
+					if ts.DeadlineExceeded != 0 {
+						t.Errorf("%d parcels exceeded the delivery deadline", ts.DeadlineExceeded)
+					}
+					if ts.Delivered != ts.Sent {
+						t.Errorf("delivered %d of %d parcels", ts.Delivered, ts.Sent)
+					}
+					if pf.acceptance {
+						if ts.Retried < 1 {
+							t.Error("acceptance profile observed no retry")
+						}
+						if ts.Deduped < 1 {
+							t.Error("acceptance profile observed no dedup")
+						}
+						if ts.Dropped < 1 || ts.Duplicated < 1 {
+							t.Errorf("wire injected dropped=%d duplicated=%d, want both >= 1",
+								ts.Dropped, ts.Duplicated)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// assertChaosClose gates the faulted potentials against the fault-free run
+// at 1e-12 relative to the largest potential magnitude — only floating-point
+// reassociation from input-arrival order may differ, never a lost or
+// double-applied edge (either would blow past the gate by many orders).
+func assertChaosClose(t *testing.T, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d potentials, want %d", len(got), len(want))
+	}
+	var den float64
+	for _, w := range want {
+		if m := math.Abs(w); m > den {
+			den = m
+		}
+	}
+	worst := 0.0
+	worstAt := -1
+	for i := range got {
+		if d := math.Abs(got[i]-want[i]) / den; d > worst {
+			worst, worstAt = d, i
+		}
+	}
+	if worst > chaosTol {
+		t.Fatalf("potential %d differs by %.3e relative (gate %.0e): %v vs %v",
+			worstAt, worst, chaosTol, got[worstAt], want[worstAt])
+	}
+}

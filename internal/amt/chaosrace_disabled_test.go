@@ -1,0 +1,8 @@
+//go:build !race
+
+package amt_test
+
+// chaosRace reports whether the race detector instruments this build; the
+// chaos harness shrinks its workload matrix under it (each evaluation is
+// ~10x slower instrumented).
+const chaosRace = false

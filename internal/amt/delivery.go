@@ -1,0 +1,288 @@
+package amt
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Reliable parcel delivery over an unreliable Transport: per-(src,dst)
+// sequence numbers, receiver-side dedup, acks, and retransmission with
+// exponential backoff + jitter under a delivery deadline. The wire contract
+// is at-least-once; the dedup filter turns it into exactly-once effect, so
+// every parcel's LCO inputs are applied once no matter how many copies
+// arrive. Over a Transport that declares itself Reliable the whole mechanism
+// is bypassed (no sequence numbers, no acks, no timers) — the hot path stays
+// identical to the pre-transport runtime.
+
+// DeliveryConfig tunes the reliable-delivery layer. The zero value picks the
+// defaults noted on each field.
+type DeliveryConfig struct {
+	// RetryBase is the backoff before the first retransmission (default
+	// 2ms); each further attempt doubles it up to RetryMax (default 64ms).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetryJitter widens each backoff by a uniform multiplicative factor in
+	// [1, 1+RetryJitter], decorrelating retransmission bursts (default 0.5).
+	RetryJitter float64
+	// Deadline bounds how long a parcel may stay unacked before the sender
+	// gives up (default 10s). A deadline-exceeded parcel is counted and its
+	// action is abandoned — the evaluation will report the missing inputs.
+	Deadline time.Duration
+}
+
+func (c DeliveryConfig) withDefaults() DeliveryConfig {
+	if c.RetryBase <= 0 {
+		c.RetryBase = 2 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 64 * time.Millisecond
+	}
+	if c.RetryJitter <= 0 {
+		c.RetryJitter = 0.5
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 10 * time.Second
+	}
+	return c
+}
+
+// TransportStats counts parcel-transport activity during one Run: the
+// delivery layer's view (sent/retried/acked/deadline, delivered/deduped) plus
+// the wire's own fault counters (dropped/duplicated).
+type TransportStats struct {
+	// Sender side.
+	Sent             int64 // application parcels handed to the wire
+	Retried          int64 // retransmissions
+	Acked            int64 // parcels settled by an ack
+	DeadlineExceeded int64 // parcels abandoned at the delivery deadline
+	// Receiver side.
+	Delivered int64 // first copies: the parcel action was spawned
+	Deduped   int64 // redundant copies suppressed by the sequence filter
+	// Wire faults (from Transport.Stats).
+	Dropped    int64
+	Duplicated int64
+}
+
+// pairKey identifies one directed (src, dst) parcel channel.
+type pairKey struct{ src, dst int32 }
+
+// sendEntry is the sender-side record of one unacked parcel.
+type sendEntry struct {
+	key      pairKey
+	seq      uint64
+	bytes    int
+	deadline time.Time
+	backoff  time.Duration
+	timer    *time.Timer
+	settled  bool
+}
+
+// delivery is the per-runtime parcel delivery engine.
+type delivery struct {
+	rt   *Runtime
+	cfg  DeliveryConfig
+	wire Transport
+	// fastPath short-circuits SendParcel straight to Locality.Spawn for the
+	// zero-latency perfect wire, keeping the steady-state remote send
+	// allocation-free.
+	fastPath bool
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	nextSeq map[pairKey]uint64
+	unacked map[pairKey]map[uint64]*sendEntry
+	// seen is the receiver-side dedup filter. In-process it simply grows
+	// with the parcel count of one single-shot run; a long-lived transport
+	// would compact it with a cumulative-ack watermark.
+	seen map[pairKey]map[uint64]bool
+
+	sent             atomic.Int64
+	retried          atomic.Int64
+	acked            atomic.Int64
+	deadlineExceeded atomic.Int64
+	delivered        atomic.Int64
+	deduped          atomic.Int64
+}
+
+func newDelivery(rt *Runtime, wire Transport, cfg DeliveryConfig, seed int64) *delivery {
+	pt, perfect := wire.(*PerfectTransport)
+	return &delivery{
+		rt:       rt,
+		cfg:      cfg.withDefaults(),
+		wire:     wire,
+		fastPath: perfect && pt.Latency == 0,
+		rng:      rand.New(rand.NewSource(seed*6364136223846793005 + 1442695040888963407)),
+		nextSeq:  make(map[pairKey]uint64),
+		unacked:  make(map[pairKey]map[uint64]*sendEntry),
+		seen:     make(map[pairKey]map[uint64]bool),
+	}
+}
+
+// stats merges the delivery-layer counters with the wire's fault counters.
+func (d *delivery) stats() TransportStats {
+	w := d.wire.Stats()
+	return TransportStats{
+		Sent:             d.sent.Load(),
+		Retried:          d.retried.Load(),
+		Acked:            d.acked.Load(),
+		DeadlineExceeded: d.deadlineExceeded.Load(),
+		Delivered:        d.delivered.Load(),
+		Deduped:          d.deduped.Load(),
+		Dropped:          w.Dropped,
+		Duplicated:       w.Duplicated,
+	}
+}
+
+// send conveys one remote parcel. Over a reliable wire it is a single
+// (possibly latency-delayed) hop; over an unreliable wire it allocates a
+// sequence number, registers the parcel for retransmission, and holds one
+// runtime pending unit until the parcel settles (ack or deadline) so Run
+// cannot drain while deliveries are outstanding.
+func (d *delivery) send(src, dst, bytes int, action Task) {
+	rt := d.rt
+	if d.wire.Reliable() {
+		rt.pending.Add(1)
+		d.wire.Send(Message{Src: src, Dst: dst, Bytes: bytes, Deliver: func() {
+			rt.locs[dst].Spawn(action)
+			rt.finish()
+		}})
+		return
+	}
+
+	key := pairKey{int32(src), int32(dst)}
+	d.mu.Lock()
+	seq := d.nextSeq[key] + 1
+	d.nextSeq[key] = seq
+	e := &sendEntry{
+		key:      key,
+		seq:      seq,
+		bytes:    bytes,
+		deadline: time.Now().Add(d.cfg.Deadline),
+		backoff:  d.cfg.RetryBase,
+	}
+	um := d.unacked[key]
+	if um == nil {
+		um = make(map[uint64]*sendEntry)
+		d.unacked[key] = um
+	}
+	um[seq] = e
+	d.mu.Unlock()
+
+	rt.pending.Add(1) // released when the entry settles
+	d.sent.Add(1)
+	d.transmit(e, action)
+}
+
+// transmit puts one copy of the parcel on the wire and arms the
+// retransmission timer with the entry's current (jittered) backoff.
+func (d *delivery) transmit(e *sendEntry, action Task) {
+	m := Message{
+		Src: int(e.key.src), Dst: int(e.key.dst), Bytes: e.bytes, Seq: e.seq,
+		Deliver: func() { d.onData(e.key, e.seq, action) },
+	}
+	d.mu.Lock()
+	if e.settled {
+		d.mu.Unlock()
+		return
+	}
+	wait := time.Duration(float64(e.backoff) * (1 + d.rng.Float64()*d.cfg.RetryJitter))
+	if e.backoff < d.cfg.RetryMax {
+		e.backoff *= 2
+		if e.backoff > d.cfg.RetryMax {
+			e.backoff = d.cfg.RetryMax
+		}
+	}
+	e.timer = time.AfterFunc(wait, func() { d.retry(e, action) })
+	d.mu.Unlock()
+	d.wire.Send(m)
+}
+
+// retry fires when a parcel stayed unacked for one backoff period: give up
+// past the deadline, otherwise retransmit. A retransmission the receiver had
+// in fact already processed is harmless — the dedup filter suppresses it and
+// re-acks.
+func (d *delivery) retry(e *sendEntry, action Task) {
+	d.mu.Lock()
+	if e.settled {
+		d.mu.Unlock()
+		return
+	}
+	expired := time.Now().After(e.deadline)
+	if expired {
+		e.settled = true
+		delete(d.unacked[e.key], e.seq)
+	}
+	d.mu.Unlock()
+	if expired {
+		d.deadlineExceeded.Add(1)
+		d.record(trace.ClassNetDeadline)
+		d.rt.finish()
+		return
+	}
+	d.retried.Add(1)
+	d.record(trace.ClassNetRetry)
+	d.transmit(e, action)
+}
+
+// onData runs at the destination for every arriving copy of a data parcel:
+// the first copy spawns the action, later copies only bump the dedup
+// counter. Every copy acks (the previous ack may have been lost).
+func (d *delivery) onData(key pairKey, seq uint64, action Task) {
+	d.mu.Lock()
+	sm := d.seen[key]
+	if sm == nil {
+		sm = make(map[uint64]bool)
+		d.seen[key] = sm
+	}
+	dup := sm[seq]
+	sm[seq] = true
+	d.mu.Unlock()
+
+	if dup {
+		d.deduped.Add(1)
+	} else {
+		d.delivered.Add(1)
+		d.rt.locs[key.dst].Spawn(action)
+	}
+	d.wire.Send(Message{
+		Src: int(key.dst), Dst: int(key.src), Seq: seq, Ack: true,
+		Deliver: func() { d.onAck(key, seq) },
+	})
+}
+
+// onAck settles the entry on the first ack; duplicate acks (and acks for
+// parcels already abandoned at the deadline) are no-ops.
+func (d *delivery) onAck(key pairKey, seq uint64) {
+	d.mu.Lock()
+	e := d.unacked[key][seq]
+	var timer *time.Timer
+	if e != nil && !e.settled {
+		e.settled = true
+		delete(d.unacked[key], seq)
+		timer = e.timer
+	} else {
+		e = nil
+	}
+	d.mu.Unlock()
+	if e == nil {
+		return
+	}
+	if timer != nil {
+		timer.Stop()
+	}
+	d.acked.Add(1)
+	d.rt.finish()
+}
+
+func (d *delivery) record(class uint8) {
+	tr := d.rt.cfg.Tracer
+	if !tr.Enabled() {
+		return
+	}
+	now := tr.Now()
+	tr.RecordVirtual(trace.Event{Class: class, Worker: -1, Locality: -1, Start: now, End: now})
+}

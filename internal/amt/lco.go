@@ -14,15 +14,17 @@ type LCO struct {
 	mu        sync.Mutex
 	needed    int
 	arrived   int
+	overflow  int
 	triggered bool
 	conts     []Task
 	home      *Locality
 }
 
 // NewLCO creates an LCO expecting `inputs` inputs, homed on the given
-// locality (where its continuations will execute).
+// locality (where its continuations will execute). An LCO expecting zero
+// inputs is born triggered.
 func NewLCO(home *Locality, inputs int) *LCO {
-	return &LCO{needed: inputs, home: home}
+	return &LCO{needed: inputs, home: home, triggered: inputs <= 0}
 }
 
 // Home returns the locality owning the LCO.
@@ -46,8 +48,19 @@ func (l *LCO) Register(t Task) {
 // concurrent reductions into the payload), and if this was the last
 // expected input the LCO triggers, spawning every registered continuation
 // on the home locality.
-func (l *LCO) Input(reduce func()) {
+//
+// An input past `needed` is rejected — reduce does not run, the overflow
+// counter bumps, and Input returns false. This makes a duplicated wire
+// delivery (or a buggy caller) unable to corrupt the reduced payload or
+// re-trigger the LCO: at-least-once input delivery yields exactly-once
+// effect.
+func (l *LCO) Input(reduce func()) bool {
 	l.mu.Lock()
+	if l.arrived >= l.needed {
+		l.overflow++
+		l.mu.Unlock()
+		return false
+	}
 	if reduce != nil {
 		reduce()
 	}
@@ -63,6 +76,7 @@ func (l *LCO) Input(reduce func()) {
 	for _, t := range conts {
 		l.home.Spawn(t)
 	}
+	return true
 }
 
 // Triggered reports whether the LCO has fired.
@@ -70,6 +84,27 @@ func (l *LCO) Triggered() bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.triggered
+}
+
+// Arrived returns how many inputs have been accepted so far.
+func (l *LCO) Arrived() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.arrived
+}
+
+// Needed returns the LCO's input-count trigger threshold.
+func (l *LCO) Needed() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.needed
+}
+
+// Overflow returns how many inputs were rejected past Needed.
+func (l *LCO) Overflow() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.overflow
 }
 
 // Future is a single-assignment LCO carrying a value, one of the built-in

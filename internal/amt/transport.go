@@ -1,0 +1,196 @@
+package amt
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// The parcel wire. HPX-5 assumes a reliable network (Photon/MPI underneath);
+// this runtime makes that assumption explicit and pluggable: parcels between
+// localities travel over a Transport, and an unreliable Transport is wrapped
+// by the delivery layer (delivery.go) that restores at-least-once wire
+// delivery with exactly-once effect at the receiver. DESIGN.md ("Robustness")
+// records the deviation from the paper's reliable-network model.
+
+// Message is one wire-level transmission between localities: either a data
+// parcel (carrying the coalesced-edge action) or an ack flowing back to the
+// sender. Deliver runs when the message "arrives"; a Transport may invoke it
+// zero times (drop), once, or several times (duplication), possibly delayed
+// and out of order with respect to other messages.
+type Message struct {
+	Src, Dst int
+	Bytes    int
+	Seq      uint64
+	Ack      bool
+	Deliver  func()
+}
+
+// WireStats counts the faults a Transport injected.
+type WireStats struct {
+	Dropped    int64
+	Duplicated int64
+	Delayed    int64
+}
+
+// Transport is the pluggable wire between localities.
+type Transport interface {
+	// Name identifies the transport in reports.
+	Name() string
+	// Reliable reports whether the wire delivers every message exactly
+	// once. For a reliable wire the runtime skips the sequence/ack/retry
+	// bookkeeping entirely; for an unreliable one the delivery layer
+	// engages.
+	Reliable() bool
+	// Send conveys one message toward Message.Dst, invoking
+	// Message.Deliver per the transport's fault model.
+	Send(m Message)
+	// Stats returns the wire-level fault counters.
+	Stats() WireStats
+}
+
+// PerfectTransport is the in-process wire the runtime has always had: every
+// message arrives exactly once, optionally after a fixed injected latency.
+type PerfectTransport struct {
+	Latency time.Duration
+}
+
+// Name implements Transport.
+func (t *PerfectTransport) Name() string { return "perfect" }
+
+// Reliable implements Transport.
+func (t *PerfectTransport) Reliable() bool { return true }
+
+// Stats implements Transport.
+func (t *PerfectTransport) Stats() WireStats { return WireStats{} }
+
+// Send implements Transport.
+func (t *PerfectTransport) Send(m Message) {
+	if t.Latency > 0 {
+		time.AfterFunc(t.Latency, m.Deliver)
+		return
+	}
+	m.Deliver()
+}
+
+// FaultProfile configures a FaultyTransport. The zero value injects nothing;
+// each field switches on one fault class.
+type FaultProfile struct {
+	// Seed seeds the fault RNG; equal seeds reproduce the same fault
+	// sequence for the same sequence of Send calls.
+	Seed int64
+	// Drop is the probability a message is silently lost.
+	Drop float64
+	// Duplicate is the probability a message is delivered twice.
+	Duplicate float64
+	// Delay is a base one-way delay added to every message.
+	Delay time.Duration
+	// Reorder adds a uniform random delay in [0, ReorderJitter] to every
+	// message, scrambling arrival order between concurrent sends.
+	Reorder bool
+	// ReorderJitter bounds the reorder delay (default 1ms when Reorder is
+	// set).
+	ReorderJitter time.Duration
+	// SlowRank pauses one locality: every message to or from this rank is
+	// delayed by an extra SlowDelay. Active only when SlowDelay > 0.
+	SlowRank  int
+	SlowDelay time.Duration
+}
+
+// FaultyTransport injects configurable drop/duplicate/delay/reorder faults
+// and a per-locality pause from a seeded RNG. It is safe for concurrent use.
+type FaultyTransport struct {
+	// Tracer, when enabled, receives one virtual event per injected drop
+	// and duplication (trace.ClassNetDrop / trace.ClassNetDup).
+	Tracer *trace.Tracer
+
+	prof FaultProfile
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	dropped    atomic.Int64
+	duplicated atomic.Int64
+	delayed    atomic.Int64
+}
+
+// NewFaultyTransport builds a transport injecting the profile's faults.
+func NewFaultyTransport(p FaultProfile) *FaultyTransport {
+	if p.Reorder && p.ReorderJitter <= 0 {
+		p.ReorderJitter = time.Millisecond
+	}
+	return &FaultyTransport{
+		prof: p,
+		rng:  rand.New(rand.NewSource(p.Seed*2654435761 + 97)),
+	}
+}
+
+// Name implements Transport.
+func (t *FaultyTransport) Name() string { return "faulty" }
+
+// Reliable implements Transport: a faulty wire needs the delivery layer.
+func (t *FaultyTransport) Reliable() bool { return false }
+
+// Stats implements Transport.
+func (t *FaultyTransport) Stats() WireStats {
+	return WireStats{
+		Dropped:    t.dropped.Load(),
+		Duplicated: t.duplicated.Load(),
+		Delayed:    t.delayed.Load(),
+	}
+}
+
+// Send implements Transport: draw the fate of the message (drop, duplicate,
+// or single delivery) and a delay for each surviving copy, then schedule the
+// deliveries.
+func (t *FaultyTransport) Send(m Message) {
+	var delays [2]time.Duration
+	t.mu.Lock()
+	copies := 1
+	switch r := t.rng.Float64(); {
+	case r < t.prof.Drop:
+		copies = 0
+	case r < t.prof.Drop+t.prof.Duplicate:
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		d := t.prof.Delay
+		if t.prof.SlowDelay > 0 && (m.Src == t.prof.SlowRank || m.Dst == t.prof.SlowRank) {
+			d += t.prof.SlowDelay
+		}
+		if t.prof.Reorder {
+			d += time.Duration(t.rng.Int63n(int64(t.prof.ReorderJitter) + 1))
+		}
+		delays[i] = d
+	}
+	t.mu.Unlock()
+
+	switch copies {
+	case 0:
+		t.dropped.Add(1)
+		t.record(trace.ClassNetDrop)
+		return
+	case 2:
+		t.duplicated.Add(1)
+		t.record(trace.ClassNetDup)
+	}
+	for i := 0; i < copies; i++ {
+		if d := delays[i]; d > 0 {
+			t.delayed.Add(1)
+			time.AfterFunc(d, m.Deliver)
+		} else {
+			m.Deliver()
+		}
+	}
+}
+
+func (t *FaultyTransport) record(class uint8) {
+	if !t.Tracer.Enabled() {
+		return
+	}
+	now := t.Tracer.Now()
+	t.Tracer.RecordVirtual(trace.Event{Class: class, Worker: -1, Locality: -1, Start: now, End: now})
+}

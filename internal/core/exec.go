@@ -35,6 +35,14 @@ type ExecOptions struct {
 	// Gradient also computes the potential gradient at every target;
 	// retrieve it with EvaluateGrad.
 	Gradient bool
+	// Fault injects wire faults: when non-nil every remote parcel travels
+	// an amt.FaultyTransport built from this profile (fresh per Run, so the
+	// seeded fault sequence is reproducible), with the reliable ack/retry
+	// delivery layer engaged on top. Nil keeps the perfect in-process wire.
+	Fault *amt.FaultProfile
+	// Delivery tunes the reliable-delivery layer used when Fault is set
+	// (zero value = amt defaults).
+	Delivery amt.DeliveryConfig
 }
 
 func (o ExecOptions) withDefaults() ExecOptions {
@@ -140,11 +148,18 @@ func (e *ParallelEvaluation) Run(charges []float64) ([]float64, ExecReport, erro
 		ex.remaining[i].Store(g.Nodes[i].In)
 	}
 
+	var tp amt.Transport
+	if opts.Fault != nil {
+		tp = amt.NewFaultyTransport(*opts.Fault)
+	}
 	rt := amt.New(amt.Config{
 		Localities: opts.Localities,
 		Workers:    opts.Workers,
 		Latency:    opts.Latency,
 		Seed:       opts.Seed,
+		Transport:  tp,
+		Delivery:   opts.Delivery,
+		Tracer:     opts.Tracer,
 	})
 	ex.rt = rt
 
@@ -162,11 +177,16 @@ func (e *ParallelEvaluation) Run(charges []float64) ([]float64, ExecReport, erro
 	})
 	elapsed := time.Since(start)
 
-	// Sanity: every node must have fired.
+	// Sanity: every node must have fired. Parcels abandoned at the delivery
+	// deadline are the one legitimate way inputs can go missing — name them.
 	for i := range ex.remaining {
 		if ex.remaining[i].Load() > 0 {
-			return nil, ExecReport{}, fmt.Errorf("core: node %d (%v) never triggered (%d inputs missing)",
+			err := fmt.Errorf("core: node %d (%v) never triggered (%d inputs missing)",
 				i, g.Nodes[i].Kind, ex.remaining[i].Load())
+			if ded := stats.Transport.DeadlineExceeded; ded > 0 {
+				err = fmt.Errorf("%w; %d parcels exceeded the delivery deadline", err, ded)
+			}
+			return nil, ExecReport{}, err
 		}
 	}
 	return ex.st.potentials(), ExecReport{

@@ -95,6 +95,56 @@ func TestSingleLocalityHasNoRemoteTraffic(t *testing.T) {
 	}
 }
 
+// TestOwnerEdgeCases pins down the degenerate inputs of the block
+// distribution: an empty ensemble, more localities than points, and the
+// clamp that keeps the last point range from spilling past the final
+// locality.
+func TestOwnerEdgeCases(t *testing.T) {
+	// Zero points: every box (necessarily empty) belongs to locality 0.
+	empty := &tree.Box{Lo: 0, Hi: 0}
+	if o := owner(empty, 0, 4); o != 0 {
+		t.Errorf("owner with zero points = %d, want 0", o)
+	}
+
+	// More localities than points: owners stay in range and keep the
+	// contiguous block order.
+	const total = 3
+	const L = 8
+	prev := int32(-1)
+	for lo := 0; lo < total; lo++ {
+		b := &tree.Box{Lo: lo, Hi: lo + 1}
+		o := owner(b, total, L)
+		if o < 0 || o >= L {
+			t.Fatalf("owner(%d..%d, total=%d, L=%d) = %d out of range", lo, lo+1, total, L, o)
+		}
+		if o < prev {
+			t.Fatalf("owner order violated with localities > points: %d after %d", o, prev)
+		}
+		prev = o
+	}
+
+	// Clamp at the last locality: a box whose midpoint sits at the end of
+	// the point range (Lo == Hi == total happens for the sentinel range of
+	// an empty trailing box) must clamp to L-1, not index past it.
+	end := &tree.Box{Lo: total, Hi: total}
+	if o := owner(end, total, L); o != L-1 {
+		t.Errorf("owner at the range end = %d, want clamp to %d", o, L-1)
+	}
+	// The last real point also lands on the final locality when blocks
+	// divide evenly.
+	last := &tree.Box{Lo: 9, Hi: 10}
+	if o := owner(last, 10, 5); o != 4 {
+		t.Errorf("owner of the last point = %d, want 4", o)
+	}
+
+	// One locality swallows everything.
+	for lo := 0; lo < 10; lo++ {
+		if o := owner(&tree.Box{Lo: lo, Hi: lo + 1}, 10, 1); o != 0 {
+			t.Fatalf("single locality: owner = %d", o)
+		}
+	}
+}
+
 func TestOwnerIsContiguousAndBalanced(t *testing.T) {
 	g := distGraph(t)
 	const L = 5

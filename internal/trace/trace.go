@@ -18,6 +18,33 @@ import (
 	"time"
 )
 
+// Transport event classes: the parcel delivery layer records one
+// zero-duration marker event per injected or recovered fault (retry,
+// wire drop, wire duplication, delivery deadline exceeded). The values sit
+// at the top of the uint8 range, far above the dag.OpKind operator classes,
+// so fault markers never collide with operator events in an analysis.
+const (
+	ClassNetRetry    uint8 = 0xF0
+	ClassNetDrop     uint8 = 0xF1
+	ClassNetDup      uint8 = 0xF2
+	ClassNetDeadline uint8 = 0xF3
+)
+
+// NetClassName names a transport event class ("" for operator classes).
+func NetClassName(c uint8) string {
+	switch c {
+	case ClassNetRetry:
+		return "net-retry"
+	case ClassNetDrop:
+		return "net-drop"
+	case ClassNetDup:
+		return "net-dup"
+	case ClassNetDeadline:
+		return "net-deadline"
+	}
+	return ""
+}
+
 // Event is one recorded operator execution. Times are nanoseconds on the
 // executor's clock (wall time for the real runtime, virtual time for the
 // simulator).
@@ -30,10 +57,13 @@ type Event struct {
 }
 
 // Tracer collects events from concurrent workers. Each worker writes to its
-// own buffer; Snapshot merges them.
+// own buffer; virtual events (simulator, transport fault markers) go to a
+// separate mutex-guarded buffer so they never race a live worker's
+// lock-free appends. Snapshot merges everything.
 type Tracer struct {
 	mu      sync.Mutex
 	buffers [][]Event
+	virtual []Event
 	epoch   time.Time
 	enabled bool
 }
@@ -59,14 +89,14 @@ func (t *Tracer) Record(w int, ev Event) {
 	t.buffers[w] = append(t.buffers[w], ev)
 }
 
-// RecordVirtual appends an event on behalf of a simulator (any goroutine);
-// it takes the tracer lock.
+// RecordVirtual appends an event on behalf of a simulator or the parcel
+// transport (any goroutine); it takes the tracer lock.
 func (t *Tracer) RecordVirtual(ev Event) {
 	if t == nil || !t.enabled {
 		return
 	}
 	t.mu.Lock()
-	t.buffers[0] = append(t.buffers[0], ev)
+	t.virtual = append(t.virtual, ev)
 	t.mu.Unlock()
 }
 
@@ -78,6 +108,7 @@ func (t *Tracer) Snapshot() []Event {
 	for _, b := range t.buffers {
 		all = append(all, b...)
 	}
+	all = append(all, t.virtual...)
 	sort.Slice(all, func(i, j int) bool { return all[i].Start < all[j].Start })
 	return all
 }
@@ -89,6 +120,7 @@ func (t *Tracer) Reset() {
 	for i := range t.buffers {
 		t.buffers[i] = t.buffers[i][:0]
 	}
+	t.virtual = t.virtual[:0]
 	t.epoch = time.Now()
 }
 

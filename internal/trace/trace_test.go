@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -143,6 +144,34 @@ func TestTracerRoundTrip(t *testing.T) {
 	tr.Reset()
 	if len(tr.Snapshot()) != 0 {
 		t.Error("reset did not clear events")
+	}
+}
+
+// Worker-local Record and any-goroutine RecordVirtual must be safe to mix:
+// the transport layer records fault markers while workers are live.
+func TestRecordVirtualConcurrentWithRecord(t *testing.T) {
+	const workers, perWorker, virtual = 4, 100, 200
+	tr := New(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr.Record(w, Event{Class: 1, Worker: int32(w), Start: int64(i), End: int64(i + 1)})
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < virtual; i++ {
+			tr.RecordVirtual(Event{Class: 2, Worker: -1, Start: int64(i), End: int64(i)})
+		}
+	}()
+	wg.Wait()
+	if got := len(tr.Snapshot()); got != workers*perWorker+virtual {
+		t.Fatalf("got %d events, want %d", got, workers*perWorker+virtual)
 	}
 }
 

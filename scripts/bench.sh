@@ -2,11 +2,22 @@
 # Runs the hot-path benchmark suite (lock-free deque, cached M→L
 # operators, zero-allocation evaluation) and writes the results as
 # machine-readable JSON to BENCH_hotpath.json in the repository root.
+# A pre-existing BENCH_hotpath.json is kept as BENCH_hotpath.prev.json and
+# a ns/op comparison is printed; a missing prior file is fine — the
+# comparison is simply skipped.
 #
 # Usage: scripts/bench.sh [extra go test args...]
 set -eu
 
 cd "$(dirname "$0")/.."
+
+prev=""
+if [ -f BENCH_hotpath.json ]; then
+    prev=BENCH_hotpath.prev.json
+    cp BENCH_hotpath.json "$prev"
+else
+    echo "no prior BENCH_hotpath.json — skipping comparison"
+fi
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -42,3 +53,24 @@ END { print "\n]" }
 ' "$raw" > BENCH_hotpath.json
 
 echo "wrote BENCH_hotpath.json"
+
+# Compare ns/op against the prior run, when one exists.
+if [ -n "$prev" ]; then
+    echo "ns/op vs $prev:"
+    awk '
+    # Both files are one-object-per-line JSON arrays produced above; pull
+    # out (name, ns_per_op) pairs without needing a JSON parser.
+    match($0, /"name": "[^"]*"/) {
+        name = substr($0, RSTART + 9, RLENGTH - 10)
+        ns = ""
+        if (match($0, /"ns_per_op": [0-9.e+]*/))
+            ns = substr($0, RSTART + 13, RLENGTH - 13)
+        if (ns == "") next
+        if (NR == FNR) { old[name] = ns; next }
+        if (name in old && old[name] + 0 > 0)
+            printf "  %-60s %12s -> %12s  (%+.1f%%)\n", name, old[name], ns, (ns - old[name]) / old[name] * 100
+        else
+            printf "  %-60s %12s -> %12s  (new)\n", name, "-", ns
+    }
+    ' "$prev" BENCH_hotpath.json
+fi
