@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench chaos chaos-short ci
+.PHONY: build test race vet bench chaos chaos-short chaos-crash ci
 
 build:
 	$(GO) build ./...
@@ -35,4 +35,12 @@ chaos:
 chaos-short:
 	$(GO) test ./internal/amt -run TestChaosProfiles -short -count=1 -timeout 10m
 
-ci: build vet test race chaos-short
+# Crash-recovery chaos harness: kill one of four localities at 25/50/75%
+# DAG progress (plus the combined crash-on-faulty-wire profile) on every
+# workload, gated at 1e-12 against the fault-free potentials. The full
+# matrix is cheap enough to run in ci; the race job picks the crash tests
+# up via ./internal/amt ./internal/core with the shrunk -short shapes.
+chaos-crash:
+	$(GO) test ./internal/amt -run TestChaosCrash -v -count=1 -timeout 15m
+
+ci: build vet test race chaos-short chaos-crash

@@ -55,6 +55,14 @@ func main() {
 		slowRank  = flag.Int("slow-rank", -1, "with -real: rank to pause (requires -slow-delay)")
 		slowDelay = flag.Duration("slow-delay", 0, "with -real: extra delay per parcel to/from -slow-rank")
 		faultSeed = flag.Int64("fault-seed", 1, "with -real: fault RNG seed")
+
+		// Crash-recovery knobs for -real runs: arm the heartbeat failure
+		// detector and optionally kill a locality mid-run; the recovery
+		// counters (ranks killed, subgraph nodes re-executed, recovery wall
+		// time) are reported after the run.
+		detect   = flag.Bool("detect", false, "with -real: arm the heartbeat failure detector")
+		killRank = flag.Int("kill-rank", -1, "with -real: locality to crash mid-run (implies -detect)")
+		killAt   = flag.Float64("kill-at", 0.5, "with -real: DAG progress fraction at which -kill-rank dies")
 	)
 	flag.Parse()
 	if !*fig4 && !*fig5 && !*real {
@@ -79,7 +87,15 @@ func main() {
 				SlowRank: *slowRank, SlowDelay: *slowDelay,
 			}
 		}
-		runReal(plan, *n, *traceOut, *locs, fault)
+		var det *amt.FailureDetectorConfig
+		if *detect || *killRank >= 0 {
+			det = &amt.FailureDetectorConfig{}
+		}
+		var crash []core.CrashPlan
+		if *killRank >= 0 {
+			crash = []core.CrashPlan{{Rank: *killRank, At: *killAt}}
+		}
+		runReal(plan, *n, *traceOut, *locs, fault, det, crash)
 	}
 
 	cm := sim.PaperCostModel()
@@ -168,7 +184,8 @@ func simulate(g *dag.Graph, cm sim.CostModel, cores int) (*trace.Utilization, si
 // (optionally split across simulated localities with an injected-fault
 // parcel wire) and prints measured utilization, per-op averages, and the
 // transport counters.
-func runReal(plan *core.Plan, n int, traceOut string, locs int, fault *amt.FaultProfile) {
+func runReal(plan *core.Plan, n int, traceOut string, locs int, fault *amt.FaultProfile,
+	det *amt.FailureDetectorConfig, crash []core.CrashPlan) {
 	if locs < 1 {
 		locs = 1
 	}
@@ -180,6 +197,7 @@ func runReal(plan *core.Plan, n int, traceOut string, locs int, fault *amt.Fault
 	tr := trace.New(locs * w)
 	_, rep, err := plan.Evaluate(q, core.ExecOptions{
 		Localities: locs, Workers: w, Tracer: tr, Fault: fault,
+		Detector: det, Crash: crash,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -204,6 +222,11 @@ func runReal(plan *core.Plan, n int, traceOut string, locs int, fault *amt.Fault
 	ts := rep.Runtime.Transport
 	fmt.Printf("# transport: sent=%d retried=%d acked=%d delivered=%d deduped=%d dropped=%d duplicated=%d deadline-exceeded=%d\n",
 		ts.Sent, ts.Retried, ts.Acked, ts.Delivered, ts.Deduped, ts.Dropped, ts.Duplicated, ts.DeadlineExceeded)
+	if det != nil {
+		r := rep.Recovery
+		fmt.Printf("# recovery: ranks-killed=%d recoveries=%d subgraph-nodes-reexecuted=%d edges-replayed=%d stale-dropped=%d recovery-wall=%v\n",
+			r.RanksKilled, r.Recoveries, r.NodesRebuilt, r.EdgesReplayed, r.StaleDropped, r.RecoveryWall)
+	}
 	start, end := trace.Span(events)
 	u := trace.Analyze(events, totalW, 100, start, end)
 	var avg float64

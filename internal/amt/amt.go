@@ -56,6 +56,12 @@ type Config struct {
 	// Tracer, if non-nil, receives transport fault events (retry, drop,
 	// duplicate, deadline-exceeded) as virtual trace events.
 	Tracer *trace.Tracer
+	// Detector, when non-nil, arms the heartbeat failure detector
+	// (failure.go): every locality emits periodic heartbeats, a monitor
+	// declares ranks dead after the configured missed-beat threshold, and
+	// registered OnFailure handlers run on each verdict. Required for
+	// Kill — a crash without a detector would hang the run.
+	Detector *FailureDetectorConfig
 }
 
 // Runtime is the in-process AMT runtime.
@@ -66,6 +72,20 @@ type Runtime struct {
 	pending  atomic.Int64 // outstanding tasks + parcels
 	done     chan struct{}
 	doneOnce sync.Once
+
+	// killable gates the (cheap) dead-locality checks on the spawn and
+	// scheduling hot paths; it is set only when a failure detector is
+	// configured, so detector-less runs pay nothing.
+	killable bool
+	// shuttingDown is set once Run has finished its final leftover sweep;
+	// from then on stray spawns (e.g. a parcel copy arriving after the
+	// delivery deadline settled it) are counted instead of silently lost.
+	shuttingDown atomic.Bool
+	// Failure detection state (failure.go).
+	det          *FailureDetectorConfig
+	handlers     []func(rank int)
+	lastBeat     []atomic.Int64 // per rank, UnixNano of the last heartbeat
+	deadDeclared []atomic.Bool  // per rank, detector verdict issued
 
 	// Global address space (gas.go).
 	mem *gas
@@ -79,6 +99,10 @@ type Runtime struct {
 	tasksRun     atomic.Int64
 	stealsOK     atomic.Int64
 	stealsFailed atomic.Int64
+	ranksKilled  atomic.Int64
+	tasksDropped atomic.Int64 // tasks discarded from a crashed locality's queues
+	spawnsToDead atomic.Int64 // spawns rejected because the target rank is dead
+	lateSpawns   atomic.Int64 // spawns rejected because the runtime has shut down
 }
 
 // Locality models one distributed-memory node.
@@ -87,6 +111,9 @@ type Locality struct {
 	Rank    int
 	workers []*Worker
 	spawnRR atomic.Int64
+	// dead marks a crashed locality: its workers stop, its queues are
+	// dropped, and all spawns and parcels addressed to it are rejected.
+	dead atomic.Bool
 }
 
 // Worker is one scheduler thread of a locality.
@@ -131,6 +158,13 @@ func New(cfg Config) *Runtime {
 		ft.Tracer = cfg.Tracer
 	}
 	rt := &Runtime{cfg: cfg, done: make(chan struct{})}
+	if cfg.Detector != nil {
+		d := cfg.Detector.withDefaults()
+		rt.det = &d
+		rt.killable = true
+		rt.lastBeat = make([]atomic.Int64, cfg.Localities)
+		rt.deadDeclared = make([]atomic.Bool, cfg.Localities)
+	}
 	rt.net = newDelivery(rt, cfg.Transport, cfg.Delivery, cfg.Seed)
 	gid := 0
 	for l := 0; l < cfg.Localities; l++ {
@@ -209,18 +243,33 @@ func (w *Worker) SpawnHigh(t Task) {
 
 // Spawn schedules a task on the locality, round-robin across its workers'
 // inboxes. It is the entry point for work arriving from outside any worker
-// (initial tasks, parcel delivery, cross-worker LCO continuations).
-func (l *Locality) Spawn(t Task) {
-	l.rt.pending.Add(1)
-	i := int(l.spawnRR.Add(1)-1) % len(l.workers)
-	l.workers[i].in.add(t, false)
-}
+// (initial tasks, parcel delivery, cross-worker LCO continuations). A spawn
+// on a crashed locality is rejected and counted (the task is dropped, as
+// the parcel would be at a dead rank's NIC); a spawn after the runtime has
+// shut down is likewise counted rather than silently lost.
+func (l *Locality) Spawn(t Task) { l.spawn(t, false) }
 
 // SpawnHigh is the priority variant of Spawn.
-func (l *Locality) SpawnHigh(t Task) {
-	l.rt.pending.Add(1)
+func (l *Locality) SpawnHigh(t Task) { l.spawn(t, true) }
+
+func (l *Locality) spawn(t Task, high bool) {
+	rt := l.rt
+	if rt.killable && l.dead.Load() {
+		rt.spawnsToDead.Add(1)
+		return
+	}
+	if rt.shuttingDown.Load() {
+		rt.lateSpawns.Add(1)
+		return
+	}
+	rt.pending.Add(1)
 	i := int(l.spawnRR.Add(1)-1) % len(l.workers)
-	l.workers[i].in.add(t, true)
+	if !l.workers[i].in.add(t, high) {
+		// The inbox closed between the dead check and the add (crash in
+		// flight): release the pending unit and count the drop.
+		rt.spawnsToDead.Add(1)
+		rt.finish()
+	}
 }
 
 // SendParcel sends an active-message parcel of the given payload size to
@@ -253,12 +302,15 @@ func (rt *Runtime) finish() {
 }
 
 // Run seeds the runtime by calling setup on locality 0 (outside any worker)
-// and blocks until all spawned work has drained. It returns basic execution
-// statistics. A Runtime is single-shot: create a new one for each run.
+// and blocks until all spawned work has drained (or Abort is called). It
+// returns basic execution statistics. A Runtime is single-shot: create a
+// new one for each run.
 func (rt *Runtime) Run(setup func()) Stats {
 	// Guard against an immediate empty run.
 	rt.pending.Add(1)
 	setup()
+
+	stopDet := rt.startDetector()
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -275,13 +327,68 @@ func (rt *Runtime) Run(setup func()) Stats {
 	<-rt.done
 	close(stop)
 	wg.Wait()
+	stopDet()
+	// Shutdown drain: a task spawned between the pending counter reaching
+	// zero and the workers returning (a late parcel copy, a straggling
+	// continuation) may still sit in an inbox. Execute everything left,
+	// then raise the shutdown flag so anything arriving later is counted
+	// (TransportStats.LateDrops / spawn counters) instead of silently lost.
+	rt.sweepLeftovers()
+	rt.shuttingDown.Store(true)
+	rt.sweepLeftovers() // whatever raced the flag
+	return rt.StatsNow()
+}
+
+// StatsNow assembles the current counter values. Run returns the same
+// snapshot; StatsNow additionally lets tests observe post-run activity
+// (late parcel copies, severed retransmissions).
+func (rt *Runtime) StatsNow() Stats {
 	return Stats{
 		TasksRun:     rt.tasksRun.Load(),
 		ParcelsSent:  rt.parcelsSent.Load(),
 		ParcelBytes:  rt.parcelBytes.Load(),
 		Steals:       rt.stealsOK.Load(),
 		FailedSteals: rt.stealsFailed.Load(),
+		RanksKilled:  rt.ranksKilled.Load(),
+		TasksDropped: rt.tasksDropped.Load() + rt.spawnsToDead.Load(),
+		LateSpawns:   rt.lateSpawns.Load(),
 		Transport:    rt.net.stats(),
+	}
+}
+
+// Abort forces Run to return even though work is still pending. Used by
+// watchdogs that have diagnosed a stalled evaluation: the scheduler loops
+// exit, leftovers are drained, and the caller reports its diagnosis instead
+// of hanging forever.
+func (rt *Runtime) Abort() {
+	rt.doneOnce.Do(func() { close(rt.done) })
+}
+
+// sweepLeftovers runs after every worker goroutine has exited (single
+// caller, no concurrent deque owners), so Run may drain and execute any
+// remaining queued tasks inline on behalf of the workers.
+func (rt *Runtime) sweepLeftovers() {
+	for {
+		n := 0
+		for _, loc := range rt.locs {
+			if rt.killable && loc.dead.Load() {
+				continue
+			}
+			for _, w := range loc.workers {
+				w.in.drain(w)
+				for {
+					t, ok := w.pop()
+					if !ok {
+						break
+					}
+					w.execute(t)
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			return
+		}
 	}
 }
 
@@ -293,6 +400,10 @@ func (w *Worker) run(stop <-chan struct{}) {
 	rt := w.loc.rt
 	backoff := time.Microsecond
 	for {
+		if rt.killable && w.loc.dead.Load() {
+			w.drainDead()
+			return
+		}
 		w.in.drain(w)
 		if t, ok := w.pop(); ok {
 			w.execute(t)
@@ -308,13 +419,41 @@ func (w *Worker) run(stop <-chan struct{}) {
 		rt.stealsFailed.Add(1)
 		select {
 		case <-stop:
-			return
+			// Shutdown, not crash: execute (never drop) anything that
+			// slipped into the inbox or deques after the last drain, so a
+			// task spawned during shutdown is not silently lost.
+			w.in.drain(w)
+			for {
+				t, ok := w.pop()
+				if !ok {
+					return
+				}
+				w.execute(t)
+			}
 		default:
 		}
 		time.Sleep(backoff)
 		if backoff < 64*time.Microsecond {
 			backoff *= 2
 		}
+	}
+}
+
+// drainDead discards the queues of a crashed locality's worker: the closed
+// inbox was already emptied by Kill; the lock-free deques are owner-drained
+// here. Each dropped task settles its pending unit so the run can complete
+// without the dead rank.
+func (w *Worker) drainDead() {
+	rt := w.loc.rt
+	w.in.close()
+	for {
+		t, ok := w.pop()
+		if !ok {
+			return
+		}
+		_ = t
+		rt.tasksDropped.Add(1)
+		rt.finish()
 	}
 }
 
@@ -363,6 +502,13 @@ type Stats struct {
 	ParcelBytes  int64
 	Steals       int64
 	FailedSteals int64
+	// RanksKilled counts localities crashed during the run (injected or
+	// detector fencing); TasksDropped counts tasks discarded with them
+	// (queued work plus spawns addressed to a dead rank); LateSpawns counts
+	// spawns rejected after shutdown.
+	RanksKilled  int64
+	TasksDropped int64
+	LateSpawns   int64
 	// Transport counts delivery-layer and wire activity (retries, dedups,
 	// injected faults). All-zero except Sent/Acked-style fields when the
 	// wire is unreliable; fully zero on the perfect fast path.
@@ -375,6 +521,10 @@ func (s Stats) String() string {
 	if t := s.Transport; t.Sent+t.Retried+t.Dropped+t.Duplicated+t.Deduped+t.DeadlineExceeded > 0 {
 		out += fmt.Sprintf(" transport[sent=%d retried=%d acked=%d delivered=%d deduped=%d dropped=%d duplicated=%d deadline=%d]",
 			t.Sent, t.Retried, t.Acked, t.Delivered, t.Deduped, t.Dropped, t.Duplicated, t.DeadlineExceeded)
+	}
+	if s.RanksKilled+s.TasksDropped+s.LateSpawns > 0 {
+		out += fmt.Sprintf(" crash[killed=%d dropped=%d late=%d]",
+			s.RanksKilled, s.TasksDropped, s.LateSpawns)
 	}
 	return out
 }

@@ -62,6 +62,9 @@ type TransportStats struct {
 	// Receiver side.
 	Delivered int64 // first copies: the parcel action was spawned
 	Deduped   int64 // redundant copies suppressed by the sequence filter
+	// Crash handling.
+	Severed   int64 // parcels abandoned because an endpoint rank died
+	LateDrops int64 // copies arriving after the runtime shut down
 	// Wire faults (from Transport.Stats).
 	Dropped    int64
 	Duplicated int64
@@ -100,17 +103,24 @@ type delivery struct {
 	// would compact it with a cumulative-ack watermark.
 	seen map[pairKey]map[uint64]bool
 
+	// dead marks ranks whose endpoints have been severed by a failure
+	// verdict. Allocated only on killable runtimes; sized from the config
+	// because newDelivery runs before the localities are built.
+	dead []atomic.Bool
+
 	sent             atomic.Int64
 	retried          atomic.Int64
 	acked            atomic.Int64
 	deadlineExceeded atomic.Int64
 	delivered        atomic.Int64
 	deduped          atomic.Int64
+	severed          atomic.Int64
+	lateDrops        atomic.Int64
 }
 
 func newDelivery(rt *Runtime, wire Transport, cfg DeliveryConfig, seed int64) *delivery {
 	pt, perfect := wire.(*PerfectTransport)
-	return &delivery{
+	d := &delivery{
 		rt:       rt,
 		cfg:      cfg.withDefaults(),
 		wire:     wire,
@@ -120,6 +130,56 @@ func newDelivery(rt *Runtime, wire Transport, cfg DeliveryConfig, seed int64) *d
 		unacked:  make(map[pairKey]map[uint64]*sendEntry),
 		seen:     make(map[pairKey]map[uint64]bool),
 	}
+	if rt.killable {
+		d.dead = make([]atomic.Bool, rt.cfg.Localities)
+	}
+	return d
+}
+
+// sever tears down a dead rank's transport endpoints: future sends to it
+// are refused, every in-flight unacked parcel touching it (either
+// direction) is settled — stopping its retransmission timer and releasing
+// its pending unit — so retry loops aimed at a corpse end at the detector
+// verdict instead of hammering the wire until the delivery deadline.
+func (d *delivery) sever(rank int) {
+	if d.dead == nil {
+		return
+	}
+	d.dead[rank].Store(true)
+	var timers []*time.Timer
+	n := 0
+	d.mu.Lock()
+	for key, um := range d.unacked {
+		if int(key.src) != rank && int(key.dst) != rank {
+			continue
+		}
+		for seq, e := range um {
+			if e.settled {
+				continue
+			}
+			e.settled = true
+			delete(um, seq)
+			if e.timer != nil {
+				timers = append(timers, e.timer)
+			}
+			n++
+		}
+	}
+	d.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
+	if n > 0 {
+		d.severed.Add(int64(n))
+		for i := 0; i < n; i++ {
+			d.rt.finish()
+		}
+	}
+}
+
+// rankDead reports whether a rank's endpoints have been severed.
+func (d *delivery) rankDead(rank int32) bool {
+	return d.dead != nil && d.dead[rank].Load()
 }
 
 // stats merges the delivery-layer counters with the wire's fault counters.
@@ -132,6 +192,8 @@ func (d *delivery) stats() TransportStats {
 		DeadlineExceeded: d.deadlineExceeded.Load(),
 		Delivered:        d.delivered.Load(),
 		Deduped:          d.deduped.Load(),
+		Severed:          d.severed.Load(),
+		LateDrops:        d.lateDrops.Load(),
 		Dropped:          w.Dropped,
 		Duplicated:       w.Duplicated,
 	}
@@ -144,6 +206,12 @@ func (d *delivery) stats() TransportStats {
 // cannot drain while deliveries are outstanding.
 func (d *delivery) send(src, dst, bytes int, action Task) {
 	rt := d.rt
+	if d.rankDead(int32(dst)) {
+		// The destination has been declared dead: refuse the send outright
+		// rather than spinning a retransmission loop at a corpse.
+		d.severed.Add(1)
+		return
+	}
 	if d.wire.Reliable() {
 		rt.pending.Add(1)
 		d.wire.Send(Message{Src: src, Dst: dst, Bytes: bytes, Deliver: func() {
@@ -206,17 +274,25 @@ func (d *delivery) transmit(e *sendEntry, action Task) {
 // in fact already processed is harmless — the dedup filter suppresses it and
 // re-acks.
 func (d *delivery) retry(e *sendEntry, action Task) {
+	severed := d.rankDead(e.key.dst) || d.rankDead(e.key.src)
 	d.mu.Lock()
 	if e.settled {
 		d.mu.Unlock()
 		return
 	}
 	expired := time.Now().After(e.deadline)
-	if expired {
+	if expired || severed {
 		e.settled = true
 		delete(d.unacked[e.key], e.seq)
 	}
 	d.mu.Unlock()
+	if severed {
+		// An endpoint died after this entry was registered (or the sever
+		// sweep raced this timer): stop retransmitting and settle.
+		d.severed.Add(1)
+		d.rt.finish()
+		return
+	}
 	if expired {
 		d.deadlineExceeded.Add(1)
 		d.record(trace.ClassNetDeadline)
@@ -232,6 +308,22 @@ func (d *delivery) retry(e *sendEntry, action Task) {
 // the first copy spawns the action, later copies only bump the dedup
 // counter. Every copy acks (the previous ack may have been lost).
 func (d *delivery) onData(key pairKey, seq uint64, action Task) {
+	if d.rankDead(key.dst) || d.rt.Dead(int(key.dst)) {
+		// A dead rank processes nothing and acks nothing — even inside the
+		// detection window, before the verdict severs the endpoint. The
+		// sender retries until sever (or the deadline) settles the entry.
+		return
+	}
+	if d.rt.shuttingDown.Load() {
+		// A copy straggling in after the run completed: count it (never
+		// silently lose it) and still ack so the sender settles.
+		d.lateDrops.Add(1)
+		d.wire.Send(Message{
+			Src: int(key.dst), Dst: int(key.src), Seq: seq, Ack: true,
+			Deliver: func() { d.onAck(key, seq) },
+		})
+		return
+	}
 	d.mu.Lock()
 	sm := d.seen[key]
 	if sm == nil {

@@ -1,0 +1,179 @@
+package amt
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// FailureDetectorConfig arms the runtime's heartbeat failure detector.
+//
+// Every live locality emits a heartbeat each Interval; a monitor declares a
+// rank dead once its last heartbeat is older than Interval × MissedBeats.
+// This is the classic heartbeat detector (the fixed-threshold special case
+// of a phi-accrual detector): it is complete (a crashed rank stops beating
+// and is eventually declared) but only eventually accurate (a wild
+// threshold misjudges a slow rank). The runtime makes false positives
+// harmless by fencing: the verdict path *kills* the suspected rank before
+// anyone acts on the suspicion, so by the time OnFailure handlers run the
+// rank really is dead and recovery is always sound.
+//
+// Heartbeats travel out-of-band, not over the (possibly faulty) parcel
+// Transport — the stand-in for the dedicated, reliable control network most
+// clusters run their membership service on. DESIGN.md records this
+// simplification.
+type FailureDetectorConfig struct {
+	// Interval between heartbeats (default 1ms).
+	Interval time.Duration
+	// MissedBeats before a silent rank is declared dead (default 8).
+	MissedBeats int
+}
+
+func (c FailureDetectorConfig) withDefaults() FailureDetectorConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Millisecond
+	}
+	if c.MissedBeats <= 0 {
+		c.MissedBeats = 8
+	}
+	return c
+}
+
+// OnFailure registers a handler invoked (on the detector goroutine) each
+// time a rank is declared dead. By the time a handler runs the rank has been
+// fenced — killed and severed from the transport — so handlers may safely
+// reassign its work. Handlers must be registered before Run starts; the
+// registration is not synchronized against a running detector.
+func (rt *Runtime) OnFailure(h func(rank int)) {
+	rt.handlers = append(rt.handlers, h)
+}
+
+// Dead reports whether a rank has crashed (injected or fenced).
+func (rt *Runtime) Dead(rank int) bool {
+	return rt.killable && rt.locs[rank].dead.Load()
+}
+
+// TasksExecuted returns the number of tasks run so far. Watchdogs sample it
+// as a cheap progress indicator.
+func (rt *Runtime) TasksExecuted() int64 { return rt.tasksRun.Load() }
+
+// Kill crashes a locality at a task boundary: its dead flag stops and
+// drains its workers, its inboxes close (queued tasks are dropped, racing
+// spawns rejected), and all future spawns and parcels addressed to it are
+// discarded — the software moral equivalent of yanking the node's power.
+// Tasks already executing finish their current invocation (a finer-grained
+// model would need preemption Go does not offer); DESIGN.md argues why
+// task-boundary crashes still exercise every recovery path that matters.
+//
+// Kill requires a configured failure detector: the crash leaves the DAG
+// permanently short of triggers, so without a detector (and a recovery
+// handler) the run would hang. It panics if Config.Detector was nil.
+// Idempotent; safe from any goroutine.
+func (rt *Runtime) Kill(rank int) {
+	if !rt.killable {
+		panic("amt: Kill requires Config.Detector (a crash without detection hangs the run)")
+	}
+	loc := rt.locs[rank]
+	if !loc.dead.CompareAndSwap(false, true) {
+		return
+	}
+	// Tombstone: hold one pending unit from the crash until the detector
+	// verdict has run its handlers, so the runtime cannot conclude the run
+	// is complete inside the detection window (the crash may have destroyed
+	// the only remaining work; completion must wait for recovery's say).
+	rt.pending.Add(1)
+	rt.ranksKilled.Add(1)
+	for _, w := range loc.workers {
+		dropped := w.in.close()
+		if dropped > 0 {
+			rt.tasksDropped.Add(int64(dropped))
+			for i := 0; i < dropped; i++ {
+				rt.finish()
+			}
+		}
+	}
+	if tr := rt.cfg.Tracer; tr.Enabled() {
+		now := tr.Now()
+		tr.RecordVirtual(trace.Event{Class: trace.ClassRecoveryKill, Locality: int32(rank), Start: now, End: now})
+	}
+}
+
+// startDetector launches the heartbeat monitor goroutine; the returned
+// function stops and joins it. A no-op when no detector is configured.
+//
+// The monitor collects each rank's heartbeat and checks the missed-beat
+// threshold on the same tick: a live rank's beat is observed directly (the
+// out-of-band control network is reliable and, in one process, free),
+// while a crashed rank stops beating and crosses the threshold after
+// MissedBeats intervals. Folding beat emission into the monitor rather
+// than running one ticker goroutine per rank keeps Go scheduler jank —
+// busy workers starving a ticker for tens of milliseconds — from
+// masquerading as a rank death: a delayed monitor tick delays beats and
+// verdicts equally, so detection latency still follows the configured
+// threshold but false positives cannot arise from CPU oversubscription
+// the simulated cluster does not have.
+func (rt *Runtime) startDetector() func() {
+	if rt.det == nil {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	now := time.Now().UnixNano()
+	for i := range rt.lastBeat {
+		rt.lastBeat[i].Store(now)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		thresh := int64(rt.det.Interval) * int64(rt.det.MissedBeats)
+		tick := time.NewTicker(rt.det.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				now := time.Now().UnixNano()
+				for r, loc := range rt.locs {
+					if !loc.dead.Load() {
+						rt.lastBeat[r].Store(now)
+						continue
+					}
+					if rt.deadDeclared[r].Load() {
+						continue
+					}
+					if now-rt.lastBeat[r].Load() > thresh {
+						rt.declareDead(r)
+					}
+				}
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		wg.Wait()
+	}
+}
+
+// declareDead issues the detector verdict for a rank, exactly once:
+// fence (Kill — making even a false suspicion true before anyone acts on
+// it), sever the rank's transport endpoints (stopping retransmission loops
+// and refusing its traffic), record the marker event, run the registered
+// OnFailure handlers, and finally release the crash tombstone so the run
+// can complete once recovery's work drains.
+func (rt *Runtime) declareDead(rank int) {
+	if !rt.deadDeclared[rank].CompareAndSwap(false, true) {
+		return
+	}
+	rt.Kill(rank)
+	rt.net.sever(rank)
+	if tr := rt.cfg.Tracer; tr.Enabled() {
+		now := tr.Now()
+		tr.RecordVirtual(trace.Event{Class: trace.ClassRecoveryDetect, Locality: int32(rank), Start: now, End: now})
+	}
+	for _, h := range rt.handlers {
+		h(rank)
+	}
+	rt.finish() // release the Kill tombstone
+}

@@ -1,0 +1,231 @@
+package amt
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func quickDetector() *FailureDetectorConfig {
+	return &FailureDetectorConfig{Interval: time.Millisecond, MissedBeats: 5}
+}
+
+// TestHeartbeatDetectorDeclaresKilledRank: a killed locality stops beating
+// and the detector declares it within the missed-beat threshold, invoking
+// the registered failure handlers exactly once with the rank fenced.
+func TestHeartbeatDetectorDeclaresKilledRank(t *testing.T) {
+	rt := New(Config{Localities: 3, Workers: 2, Detector: quickDetector()})
+	var declared atomic.Int64
+	var declaredRank atomic.Int64
+	rt.OnFailure(func(rank int) {
+		declared.Add(1)
+		declaredRank.Store(int64(rank))
+		if !rt.Dead(rank) {
+			t.Errorf("handler ran before rank %d was fenced", rank)
+		}
+	})
+	start := time.Now()
+	stats := rt.Run(func() {
+		rt.Locality(0).Spawn(func(w *Worker) { rt.Kill(1) })
+	})
+	// The crash tombstone holds the run open until the verdict, so by the
+	// time Run returns the handler must have fired.
+	if declared.Load() != 1 {
+		t.Fatalf("handler invoked %d times, want 1", declared.Load())
+	}
+	if declaredRank.Load() != 1 {
+		t.Fatalf("declared rank %d, want 1", declaredRank.Load())
+	}
+	if !rt.Dead(1) || rt.Dead(0) || rt.Dead(2) {
+		t.Error("Dead() does not reflect the verdict")
+	}
+	if stats.RanksKilled != 1 {
+		t.Errorf("stats report %d ranks killed, want 1", stats.RanksKilled)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("detection took %s, want well under the test deadline", el)
+	}
+}
+
+// TestKillDropsQueuedTasksAndSpawns: tasks queued on a killed rank are
+// discarded and accounted, and later spawns addressed to it are rejected
+// rather than executed or leaked into the pending count (which would hang
+// the run).
+func TestKillDropsQueuedTasksAndSpawns(t *testing.T) {
+	rt := New(Config{Localities: 2, Workers: 1, Detector: quickDetector()})
+	rt.OnFailure(func(int) {})
+	var ranOnDead atomic.Int64
+	stats := rt.Run(func() {
+		rt.Locality(0).Spawn(func(w *Worker) {
+			rt.Kill(1)
+			for i := 0; i < 10; i++ {
+				rt.Locality(1).Spawn(func(*Worker) { ranOnDead.Add(1) })
+			}
+		})
+	})
+	if ranOnDead.Load() != 0 {
+		t.Fatalf("%d tasks ran on a dead rank", ranOnDead.Load())
+	}
+	if stats.TasksDropped < 10 {
+		t.Errorf("stats report %d dropped tasks, want >= 10", stats.TasksDropped)
+	}
+}
+
+// TestShutdownSpawnNeverSilentlyLost is the shutdown-drain regression test:
+// a task spawned while the runtime is already completing (here: after an
+// Abort) must either execute during the drain or be counted as a late
+// spawn — never vanish.
+func TestShutdownSpawnNeverSilentlyLost(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		rt := New(Config{Localities: 2, Workers: 2})
+		var ran atomic.Int64
+		const spawned = 64
+		rt.Run(func() {
+			rt.Locality(0).Spawn(func(w *Worker) {
+				// Completing the runtime and spawning afterwards races the
+				// worker stop path — exactly the window where parcels used
+				// to be dropped from undrained inboxes.
+				rt.Abort()
+				for i := 0; i < spawned; i++ {
+					rt.Locality(i % 2).Spawn(func(*Worker) { ran.Add(1) })
+				}
+			})
+		})
+		st := rt.StatsNow()
+		if got := ran.Load() + st.LateSpawns; got != spawned {
+			t.Fatalf("round %d: %d executed + %d late != %d spawned",
+				round, ran.Load(), st.LateSpawns, spawned)
+		}
+	}
+}
+
+// TestLCOReset: Reset re-arms a triggered LCO for crash-recovery rebuild —
+// fresh input count, cleared continuations, optional re-homing — and the
+// re-armed LCO fires again after exactly the new number of inputs.
+func TestLCOReset(t *testing.T) {
+	rt := New(Config{Localities: 2, Workers: 1})
+	lco := NewLCO(rt.Locality(0), 2)
+	var fired atomic.Int64
+	firedOn := make(chan int, 4)
+	rt.Run(func() {
+		loc := rt.Locality(0)
+		lco.Register(func(w *Worker) { fired.Add(1); firedOn <- w.Rank() })
+		loc.Spawn(func(w *Worker) {
+			lco.Input(nil)
+			lco.Input(nil)
+		})
+	})
+	if fired.Load() != 1 {
+		t.Fatalf("LCO fired %d times before reset, want 1", fired.Load())
+	}
+
+	// Re-arm with one more input than before, homed on the other locality.
+	lco.Reset(rt.Locality(1), 3)
+	if lco.Triggered() || lco.Arrived() != 0 || lco.Needed() != 3 || lco.Overflow() != 0 {
+		t.Fatalf("reset LCO state: triggered=%v arrived=%d needed=%d overflow=%d",
+			lco.Triggered(), lco.Arrived(), lco.Needed(), lco.Overflow())
+	}
+	if lco.Home() != rt.Locality(1) {
+		t.Fatal("reset did not re-home the LCO")
+	}
+
+	rt2 := New(Config{Localities: 2, Workers: 1})
+	// The LCO's home locality belongs to the finished runtime; re-home it
+	// onto the fresh one (recovery re-homes onto live localities the same
+	// way).
+	lco.Reset(rt2.Locality(1), 3)
+	rt2.Run(func() {
+		lco.Register(func(w *Worker) { fired.Add(1); firedOn <- w.Rank() })
+		rt2.Locality(0).Spawn(func(w *Worker) {
+			lco.Input(nil)
+			lco.Input(nil)
+			lco.Input(nil)
+			lco.Input(nil) // overflow: must not double-fire
+		})
+	})
+	if fired.Load() != 2 {
+		t.Fatalf("LCO fired %d times total, want 2", fired.Load())
+	}
+	if lco.Overflow() != 1 {
+		t.Errorf("overflow = %d, want 1", lco.Overflow())
+	}
+	close(firedOn)
+	ranks := []int{}
+	for r := range firedOn {
+		ranks = append(ranks, r)
+	}
+	if len(ranks) != 2 || ranks[0] != 0 || ranks[1] != 1 {
+		t.Errorf("continuations ran on ranks %v, want [0 1] (pre/post re-home)", ranks)
+	}
+
+	// Reset to zero inputs leaves the LCO triggered, matching NewLCO.
+	lco.Reset(nil, 0)
+	if !lco.Triggered() {
+		t.Error("reset to zero inputs should leave the LCO triggered")
+	}
+}
+
+// TestKillRequiresDetector: crashing a rank without a failure detector
+// would hang the run, so Kill refuses to.
+func TestKillRequiresDetector(t *testing.T) {
+	rt := New(Config{Localities: 2, Workers: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Kill without a detector did not panic")
+		}
+	}()
+	rt.Kill(1)
+}
+
+// TestSeverStopsRetransmissionToDeadRank is the delivery-teardown test: a
+// dead rank never acks, so senders retransmit until the detector verdict
+// severs its endpoints — at which point every unacked entry settles
+// (Severed), the retry timers die (Retried stops moving), and no goroutine
+// is leaked spinning on the dead destination.
+func TestSeverStopsRetransmissionToDeadRank(t *testing.T) {
+	rt := New(Config{
+		Localities: 2, Workers: 1,
+		Detector: &FailureDetectorConfig{Interval: time.Millisecond, MissedBeats: 25},
+		// A real (non-bypassed) transport with no injected faults: every
+		// parcel to the dead rank reaches it and is refused, exercising the
+		// retransmission loop rather than the wire.
+		Transport: NewFaultyTransport(FaultProfile{Seed: 1}),
+		Delivery: DeliveryConfig{
+			RetryBase: time.Millisecond,
+			RetryMax:  4 * time.Millisecond,
+			Deadline:  120 * time.Second,
+		},
+	})
+	rt.OnFailure(func(int) {})
+	var ranOnDead atomic.Int64
+	stats := rt.Run(func() {
+		rt.Locality(0).Spawn(func(w *Worker) {
+			rt.Kill(1)
+			// The long detection window (25ms) leaves these parcels
+			// retransmitting to a silent rank until the verdict severs it.
+			for i := 0; i < 8; i++ {
+				w.SendParcel(1, 100, func(*Worker) { ranOnDead.Add(1) })
+			}
+		})
+	})
+	if ranOnDead.Load() != 0 {
+		t.Fatalf("%d parcels executed on a dead rank", ranOnDead.Load())
+	}
+	ts := stats.Transport
+	if ts.Severed == 0 {
+		t.Error("no parcels were settled by the sever")
+	}
+	if ts.Retried == 0 {
+		t.Error("no retransmissions before the verdict; the loop was never exercised")
+	}
+	if ts.DeadlineExceeded != 0 {
+		t.Errorf("%d parcels hit the deadline; sever should have settled them first", ts.DeadlineExceeded)
+	}
+	// Leak check: all retry timers must be dead. Any survivor would bump
+	// Retried after the run.
+	before := rt.StatsNow().Transport.Retried
+	time.Sleep(30 * time.Millisecond)
+	if after := rt.StatsNow().Transport.Retried; after != before {
+		t.Errorf("retransmissions continued after the run: %d -> %d", before, after)
+	}
+}

@@ -79,6 +79,27 @@ func (l *LCO) Input(reduce func()) bool {
 	return true
 }
 
+// Reset re-arms the LCO to expect `inputs` fresh inputs, discarding its
+// arrival/overflow counts and any still-registered continuations. Crash
+// recovery uses it to rebuild an LCO whose partial state was lost with its
+// owner: the payload is re-zeroed by the caller (outside the LCO, which
+// does not own it), the counts restart, and re-sent contributions reduce
+// into it again — idempotent re-registration instead of double-counting.
+// It also re-homes the LCO if the owner moved. Resetting to zero inputs
+// leaves the LCO triggered (matching NewLCO).
+func (l *LCO) Reset(home *Locality, inputs int) {
+	l.mu.Lock()
+	l.needed = inputs
+	l.arrived = 0
+	l.overflow = 0
+	l.triggered = inputs <= 0
+	l.conts = nil
+	if home != nil {
+		l.home = home
+	}
+	l.mu.Unlock()
+}
+
 // Triggered reports whether the LCO has fired.
 func (l *LCO) Triggered() bool {
 	l.mu.Lock()

@@ -43,6 +43,18 @@ type ExecOptions struct {
 	// Delivery tunes the reliable-delivery layer used when Fault is set
 	// (zero value = amt defaults).
 	Delivery amt.DeliveryConfig
+	// Detector arms the runtime's heartbeat failure detector and this
+	// package's crash-recovery coordinator (recover.go): a rank declared
+	// dead has its nodes failed over to the survivors and its orphaned DAG
+	// subgraph rebuilt and re-executed. Required when Crash is non-empty.
+	Detector *amt.FailureDetectorConfig
+	// Crash schedules injected locality crashes at DAG progress fractions
+	// (the chaos harness's knob). Requires Detector.
+	Crash []CrashPlan
+	// StallWindow, when positive, arms a watchdog that aborts the run with
+	// a diagnostic listing the unsatisfied LCOs (owner rank, arrived/needed
+	// counts) if no task executes for a full window, instead of hanging.
+	StallWindow time.Duration
 }
 
 func (o ExecOptions) withDefaults() ExecOptions {
@@ -70,6 +82,9 @@ type ExecReport struct {
 	RemoteEdges int64
 	Localities  int
 	Workers     int
+	// Recovery reports crash-recovery activity (zero-valued when no
+	// detector was armed or no rank died).
+	Recovery RecoveryStats
 }
 
 // parcelOverhead is the per-edge descriptor cost added to a coalesced
@@ -131,6 +146,16 @@ func (p *Plan) NewParallelEvaluation(opts ExecOptions) (*ParallelEvaluation, err
 		id := int32(i)
 		ex.tasks[i] = func(w *amt.Worker) { ex.runNode(w, id) }
 	}
+	if len(opts.Crash) > 0 && opts.Detector == nil {
+		return nil, fmt.Errorf("core: ExecOptions.Crash requires ExecOptions.Detector")
+	}
+	if opts.Detector != nil {
+		rec, err := newRecovery(ex)
+		if err != nil {
+			return nil, err
+		}
+		ex.rec = rec
+	}
 	return &ParallelEvaluation{plan: p, opts: opts, ex: ex}, nil
 }
 
@@ -147,6 +172,12 @@ func (e *ParallelEvaluation) Run(charges []float64) ([]float64, ExecReport, erro
 	for i := range g.Nodes {
 		ex.remaining[i].Store(g.Nodes[i].In)
 	}
+	if ex.rec != nil {
+		ex.rec.resetRun(opts.Localities, opts.Workers)
+	}
+	ex.stallMu.Lock()
+	ex.stallErr = nil
+	ex.stallMu.Unlock()
 
 	var tp amt.Transport
 	if opts.Fault != nil {
@@ -160,8 +191,20 @@ func (e *ParallelEvaluation) Run(charges []float64) ([]float64, ExecReport, erro
 		Transport:  tp,
 		Delivery:   opts.Delivery,
 		Tracer:     opts.Tracer,
+		Detector:   opts.Detector,
 	})
 	ex.rt = rt
+	if ex.rec != nil {
+		rt.OnFailure(ex.rec.onRankFailure)
+	}
+
+	var stopInjector, stopWatchdog func()
+	if len(opts.Crash) > 0 {
+		stopInjector = ex.rec.runCrashInjector(rt, opts.Crash, len(g.Nodes))
+	}
+	if opts.StallWindow > 0 {
+		stopWatchdog = ex.runWatchdog(rt, opts.StallWindow)
+	}
 
 	start := time.Now()
 	stats := rt.Run(func() {
@@ -176,6 +219,24 @@ func (e *ParallelEvaluation) Run(charges []float64) ([]float64, ExecReport, erro
 		}
 	})
 	elapsed := time.Since(start)
+	if stopInjector != nil {
+		stopInjector()
+	}
+	if stopWatchdog != nil {
+		stopWatchdog()
+	}
+
+	var recStats RecoveryStats
+	if ex.rec != nil {
+		recStats = ex.rec.stats()
+		recStats.RanksKilled = int(stats.RanksKilled)
+		if err := ex.rec.fatal(); err != nil {
+			return nil, ExecReport{}, err
+		}
+	}
+	if err := ex.stallError(); err != nil {
+		return nil, ExecReport{}, err
+	}
 
 	// Sanity: every node must have fired. Parcels abandoned at the delivery
 	// deadline are the one legitimate way inputs can go missing — name them.
@@ -185,6 +246,9 @@ func (e *ParallelEvaluation) Run(charges []float64) ([]float64, ExecReport, erro
 				i, g.Nodes[i].Kind, ex.remaining[i].Load())
 			if ded := stats.Transport.DeadlineExceeded; ded > 0 {
 				err = fmt.Errorf("%w; %d parcels exceeded the delivery deadline", err, ded)
+			}
+			if stats.RanksKilled > 0 {
+				err = fmt.Errorf("%w; %d ranks crashed during the run", err, stats.RanksKilled)
 			}
 			return nil, ExecReport{}, err
 		}
@@ -197,6 +261,7 @@ func (e *ParallelEvaluation) Run(charges []float64) ([]float64, ExecReport, erro
 		RemoteEdges: dist.RemoteEdges(g),
 		Localities:  opts.Localities,
 		Workers:     opts.Workers,
+		Recovery:    recStats,
 	}, nil
 }
 
@@ -210,6 +275,13 @@ type executor struct {
 	remaining []atomic.Int32
 	locks     []sync.Mutex
 	tasks     []amt.Task // prebuilt node continuations, indexed by node ID
+	// rec, when non-nil, switches node execution to the crash-recovery
+	// path (recover.go); nil leaves the hot path untouched.
+	rec *recovery
+	// stallMu/stallErr carry the watchdog diagnosis when no recovery state
+	// exists (the rec-armed variant lives on recovery).
+	stallMu  sync.Mutex
+	stallErr error
 }
 
 // isHigh reports whether a node's continuation carries the high priority
@@ -224,9 +296,11 @@ func (ex *executor) isHigh(id int32) bool {
 
 // parcelEdges is a pooled remote-edge list: the out edges of one node
 // bound for one destination locality. Ownership passes to the parcel
-// action, which recycles it after delivering every edge.
+// action, which recycles it after delivering every edge. idx carries the
+// matching global edge indexes in recovery mode (empty on the hot path).
 type parcelEdges struct {
 	edges []dag.Edge
+	idx   []int32
 }
 
 var parcelEdgesPool = sync.Pool{New: func() any { return new(parcelEdges) }}
@@ -254,6 +328,23 @@ func (b *remoteBatch) add(dest int32, e dag.Edge) {
 	b.lists = append(b.lists, pe)
 }
 
+// addIdx is the recovery-mode variant of add: it also records the edge's
+// global index so the receiver can mark the applied bit.
+func (b *remoteBatch) addIdx(dest int32, e dag.Edge, gidx int32) {
+	for i, d := range b.dests {
+		if d == dest {
+			b.lists[i].edges = append(b.lists[i].edges, e)
+			b.lists[i].idx = append(b.lists[i].idx, gidx)
+			return
+		}
+	}
+	pe := parcelEdgesPool.Get().(*parcelEdges)
+	pe.edges = append(pe.edges[:0], e)
+	pe.idx = append(pe.idx[:0], gidx)
+	b.dests = append(b.dests, dest)
+	b.lists = append(b.lists, pe)
+}
+
 func (b *remoteBatch) release() {
 	for i := range b.lists {
 		b.lists[i] = nil // ownership moved to the parcel actions
@@ -267,6 +358,10 @@ func (b *remoteBatch) release() {
 // runs once per evaluation, when the node's LCO triggers (all inputs
 // arrived).
 func (ex *executor) runNode(w *amt.Worker, id int32) {
+	if ex.rec != nil {
+		ex.runNodeRecov(w, id)
+		return
+	}
 	n := &ex.g.Nodes[id]
 	myLoc := int32(w.Rank())
 	// Local edges first, sequentially: the large input payload is reused

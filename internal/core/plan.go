@@ -176,6 +176,40 @@ func (s *state) reset(charges []float64) {
 	}
 }
 
+// zeroNode clears the payload of one node for a crash-recovery rebuild:
+// the rebuilt LCO re-accumulates its inputs from scratch, so whatever
+// partial reduction was lost with the dead rank must not linger. S nodes
+// have no derived payload (the charge vector is re-readable input); T nodes
+// own their box's slice of the potential (and gradient) accumulators.
+// Callers serialize against concurrent deliveries via the node's lock.
+func (s *state) zeroNode(n *dag.Node) {
+	switch n.Kind {
+	case dag.NodeM, dag.NodeL:
+		for j := range s.exp[n.ID] {
+			s.exp[n.ID][j] = 0
+		}
+	case dag.NodeIs, dag.NodeIt:
+		for d := 0; d < geom.NumDirections; d++ {
+			for j := range s.own[n.ID][d] {
+				s.own[n.ID][d][j] = 0
+			}
+			for j := range s.mrg[n.ID][d] {
+				s.mrg[n.ID][d][j] = 0
+			}
+		}
+	case dag.NodeT:
+		b := n.Box
+		for j := b.Lo; j < b.Hi; j++ {
+			s.pot[j] = 0
+		}
+		if s.grad != nil {
+			for j := b.Lo; j < b.Hi; j++ {
+				s.grad[j] = geom.Point{}
+			}
+		}
+	}
+}
+
 // potentials un-permutes the tree-ordered potentials back to the caller's
 // target order.
 func (s *state) potentials() []float64 {

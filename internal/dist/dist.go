@@ -161,6 +161,34 @@ func (MinComm) Assign(g *dag.Graph, localities int) {
 	}
 }
 
+// Failover reassigns ownership after a locality crash: every entry of
+// homes (the current node→locality assignment, one entry per DAG node)
+// equal to dead is rewritten to one of the surviving ranks, round-robin by
+// node index so the orphaned work spreads evenly across the survivors. The
+// rule is a pure function of (homes, dead, survivors), so every participant
+// of a recovery — and a re-execution of the same failure scenario — picks
+// identical new owners, which is what makes crash recovery deterministic.
+// It returns the number of reassigned nodes. survivors must be non-empty
+// and must not contain dead.
+func Failover(homes []int32, dead int32, survivors []int32) int {
+	if len(survivors) == 0 {
+		panic("dist: Failover with no surviving localities")
+	}
+	for _, s := range survivors {
+		if s == dead {
+			panic("dist: Failover survivor list contains the dead rank")
+		}
+	}
+	moved := 0
+	for i := range homes {
+		if homes[i] == dead {
+			homes[i] = survivors[i%len(survivors)]
+			moved++
+		}
+	}
+	return moved
+}
+
 // RemoteBytes sums the bytes of edges that cross localities under the
 // current assignment — the communication volume a policy will incur.
 func RemoteBytes(g *dag.Graph) int64 {

@@ -30,7 +30,21 @@ const (
 	ClassNetDeadline uint8 = 0xF3
 )
 
-// NetClassName names a transport event class ("" for operator classes).
+// Recovery event classes: the crash-recovery machinery records one
+// zero-duration marker per lifecycle step — a locality killed (injected
+// crash or detector fencing), a failure-detector verdict, an ownership
+// failover, and the seeding of an orphaned-subgraph replay. They occupy
+// 0xE0.. so they collide with neither operator classes nor the 0xF0..
+// transport markers.
+const (
+	ClassRecoveryKill     uint8 = 0xE0
+	ClassRecoveryDetect   uint8 = 0xE1
+	ClassRecoveryFailover uint8 = 0xE2
+	ClassRecoveryReplay   uint8 = 0xE3
+)
+
+// NetClassName names a transport or recovery marker event class ("" for
+// operator classes).
 func NetClassName(c uint8) string {
 	switch c {
 	case ClassNetRetry:
@@ -41,6 +55,14 @@ func NetClassName(c uint8) string {
 		return "net-dup"
 	case ClassNetDeadline:
 		return "net-deadline"
+	case ClassRecoveryKill:
+		return "recovery-kill"
+	case ClassRecoveryDetect:
+		return "recovery-detect"
+	case ClassRecoveryFailover:
+		return "recovery-failover"
+	case ClassRecoveryReplay:
+		return "recovery-replay"
 	}
 	return ""
 }
