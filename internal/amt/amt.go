@@ -439,13 +439,19 @@ func (w *Worker) run(stop <-chan struct{}) {
 	}
 }
 
-// drainDead discards the queues of a crashed locality's worker: the closed
-// inbox was already emptied by Kill; the lock-free deques are owner-drained
-// here. Each dropped task settles its pending unit so the run can complete
-// without the dead rank.
+// drainDead discards the queues of a crashed locality's worker: the inbox is
+// closed (racing with Kill's own close, which is idempotent — whichever close
+// wins observes the queued tasks and must settle them), and the lock-free
+// deques are owner-drained here. Each dropped task settles its pending unit
+// so the run can complete without the dead rank.
 func (w *Worker) drainDead() {
 	rt := w.loc.rt
-	w.in.close()
+	if dropped := w.in.close(); dropped > 0 {
+		rt.tasksDropped.Add(int64(dropped))
+		for i := 0; i < dropped; i++ {
+			rt.finish()
+		}
+	}
 	for {
 		t, ok := w.pop()
 		if !ok {

@@ -23,6 +23,14 @@ import (
 // Transport — the stand-in for the dedicated, reliable control network most
 // clusters run their membership service on. DESIGN.md records this
 // simplification.
+//
+// Scope: in this in-process simulation a locality only stops beating when
+// it has been explicitly crashed (Kill / the crash injector), so the
+// detector confirms injected or fenced crashes after the missed-beat
+// threshold — it never declares a live-but-wedged rank dead (the monitor
+// refreshes live ranks' beats itself; see startDetector). The defense
+// against a live-but-stuck run is ExecOptions.StallWindow, the evaluation
+// watchdog.
 type FailureDetectorConfig struct {
 	// Interval between heartbeats (default 1ms).
 	Interval time.Duration

@@ -198,9 +198,9 @@ func (e *ParallelEvaluation) Run(charges []float64) ([]float64, ExecReport, erro
 		rt.OnFailure(ex.rec.onRankFailure)
 	}
 
-	var stopInjector, stopWatchdog func()
+	var stopWatchdog func()
 	if len(opts.Crash) > 0 {
-		stopInjector = ex.rec.runCrashInjector(rt, opts.Crash, len(g.Nodes))
+		ex.rec.armCrash(opts.Crash, len(g.Nodes))
 	}
 	if opts.StallWindow > 0 {
 		stopWatchdog = ex.runWatchdog(rt, opts.StallWindow)
@@ -219,9 +219,6 @@ func (e *ParallelEvaluation) Run(charges []float64) ([]float64, ExecReport, erro
 		}
 	})
 	elapsed := time.Since(start)
-	if stopInjector != nil {
-		stopInjector()
-	}
 	if stopWatchdog != nil {
 		stopWatchdog()
 	}

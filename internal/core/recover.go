@@ -121,9 +121,22 @@ type recovery struct {
 	// direction the orphaned-subgraph closure is computed in.
 	revTopo []int32
 
-	// triggers counts node executions — the DAG progress the crash injector
-	// and the watchdog sample.
+	// triggers counts unique node-incarnation executions — the DAG progress
+	// the crash injector and the watchdog sample. firedAt[id] is the rebuild
+	// incarnation (rebuiltAt value) whose trigger has already been counted,
+	// so a stale pre-rebuild trigger racing the rebuilt node's own re-trigger
+	// cannot double-count progress (execution itself is not gated — the
+	// applied bits dedupe deliveries, and gating execution could drop the
+	// incarnation's only live trigger).
 	triggers atomic.Int64
+	firedAt  []atomic.Int64
+
+	// Armed crash schedule (see armCrash/maybeKill): plans sorted by At,
+	// their thresholds in trigger counts, and the index of the next unfired
+	// plan.
+	killPlans  []CrashPlan
+	killThresh []int64
+	killNext   atomic.Int32
 
 	nodesRebuilt  atomic.Int64
 	edgesReplayed atomic.Int64
@@ -143,6 +156,7 @@ func newRecovery(ex *executor) (*recovery, error) {
 	rec := &recovery{
 		ex:        ex,
 		rebuiltAt: make([]atomic.Int64, n),
+		firedAt:   make([]atomic.Int64, n),
 		homes:     make([]atomic.Int32, n),
 		edgeBase:  make([]int32, n+1),
 		inEdges:   make([][]inRef, n),
@@ -188,12 +202,16 @@ func (rec *recovery) resetRun(localities, workers int) {
 	rec.epoch.Store(0)
 	for i := range rec.rebuiltAt {
 		rec.rebuiltAt[i].Store(0)
+		rec.firedAt[i].Store(-1)
 		rec.homes[i].Store(g.Nodes[i].Locality)
 	}
 	for i := range rec.applied {
 		rec.applied[i].Store(false)
 	}
 	rec.triggers.Store(0)
+	rec.killPlans = nil
+	rec.killThresh = rec.killThresh[:0]
+	rec.killNext.Store(0)
 	rec.nodesRebuilt.Store(0)
 	rec.edgesReplayed.Store(0)
 	rec.staleDropped.Store(0)
@@ -378,30 +396,37 @@ func (rec *recovery) onRankFailure(rank int) {
 	}
 }
 
-// runCrashInjector fires the scheduled kills when DAG progress crosses each
-// plan's threshold; the returned stop function joins the goroutine.
-func (rec *recovery) runCrashInjector(rt *amt.Runtime, plans []CrashPlan, totalNodes int) func() {
-	stop := make(chan struct{})
-	done := make(chan struct{})
+// armCrash schedules the planned kills for the coming run. Plans fire
+// synchronously from the trigger path (maybeKill) the moment DAG progress
+// crosses each threshold — not from a polling goroutine, which could be
+// starved past run completion and land its Kill on a finished runtime where
+// no detector verdict (and hence no recovery) can ever fire. Firing inside
+// a trigger also pins the exact progress fraction: the crash lands at the
+// planned trigger count, deterministically, while the firing task's own
+// pending unit keeps the run live until Kill's tombstone is in place.
+func (rec *recovery) armCrash(plans []CrashPlan, totalNodes int) {
 	sorted := append([]CrashPlan(nil), plans...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
-	go func() {
-		defer close(done)
-		for _, p := range sorted {
-			thresh := int64(p.At * float64(totalNodes))
-			for rec.triggers.Load() < thresh {
-				select {
-				case <-stop:
-					return
-				case <-time.After(200 * time.Microsecond):
-				}
-			}
-			rt.Kill(p.Rank)
+	rec.killPlans = sorted
+	rec.killThresh = rec.killThresh[:0]
+	for _, p := range sorted {
+		rec.killThresh = append(rec.killThresh, int64(p.At*float64(totalNodes)))
+	}
+	rec.killNext.Store(0)
+}
+
+// maybeKill fires every armed crash plan whose threshold the given progress
+// count has reached. The CAS on killNext makes each plan fire exactly once
+// even when triggers race past a threshold on several workers at once.
+func (rec *recovery) maybeKill(progress int64) {
+	for {
+		i := rec.killNext.Load()
+		if int(i) >= len(rec.killThresh) || progress < rec.killThresh[i] {
+			return
 		}
-	}()
-	return func() {
-		close(stop)
-		<-done
+		if rec.killNext.CompareAndSwap(i, i+1) {
+			rec.ex.rt.Kill(rec.killPlans[i].Rank)
+		}
 	}
 }
 
@@ -508,7 +533,22 @@ func (ex *executor) runNodeRecov(w *amt.Worker, id int32) {
 		return
 	}
 	ep := rec.epoch.Load()
-	rec.triggers.Add(1)
+	// Count DAG progress once per node incarnation: a stale pre-rebuild
+	// trigger that slipped past the staleness check above (the rebuilt node
+	// has already re-satisfied) must not advance the injector's progress
+	// fraction a second time. It still executes — applied bits make the
+	// duplicate deliveries no-ops.
+	inc := rec.rebuiltAt[id].Load()
+	for {
+		prev := rec.firedAt[id].Load()
+		if prev >= inc {
+			break
+		}
+		if rec.firedAt[id].CompareAndSwap(prev, inc) {
+			rec.maybeKill(rec.triggers.Add(1))
+			break
+		}
+	}
 	n := &ex.g.Nodes[id]
 	myLoc := int32(w.Rank())
 	base := rec.edgeBase[id]
