@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench chaos chaos-short chaos-crash ci
+.PHONY: build test race vet bench bench-serve serve-smoke chaos chaos-short chaos-crash ci
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ test:
 # them under the race detector (the full tree under -race is slow on small
 # machines and adds nothing — the remaining packages are sequential).
 race:
-	$(GO) test -race -timeout 20m ./internal/amt ./internal/core
+	$(GO) test -race -timeout 20m ./internal/amt ./internal/core ./internal/serve
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,17 @@ vet:
 # writes BENCH_hotpath.json next to the raw output.
 bench:
 	scripts/bench.sh
+
+# Evaluation-service smoke test: concurrent mixed requests against an
+# in-process server (httptest), asserting every response is a 200 and the
+# cache/coalescing/queue metrics add up, plus a goroutine-leak check.
+serve-smoke:
+	$(GO) test ./internal/serve -run TestServeSmoke -v -count=1 -timeout 5m
+
+# Warm-vs-cold serving benchmark (plan cache + pooled runtime against
+# per-request setup); writes BENCH_serve.json.
+bench-serve:
+	scripts/bench.sh serve
 
 # Chaos harness: full cube/sphere x Laplace/Yukawa evaluations over a
 # fault-injected parcel wire (drop/duplicate/reorder/slow-rank), gated at
@@ -43,4 +54,4 @@ chaos-short:
 chaos-crash:
 	$(GO) test ./internal/amt -run TestChaosCrash -v -count=1 -timeout 15m
 
-ci: build vet test race chaos-short chaos-crash
+ci: build vet test race serve-smoke chaos-short chaos-crash

@@ -1,0 +1,78 @@
+// Command dashmm-serve is the long-lived evaluation daemon: it keeps built
+// plans (tree + DAG + kernel tables), evaluation contexts and amt runtimes
+// warm across requests, so the iterative-evaluation amortization of the
+// paper's Section IV extends across clients of a service.
+//
+// Endpoints:
+//
+//	POST /evaluate      JSON evaluation request -> potentials + report
+//	GET  /healthz       liveness
+//	GET  /metrics       counters, gauges and per-phase latency histograms
+//	GET  /debug/pprof/  standard pprof handlers
+//
+// A minimal request is {"n": 10000}; see internal/serve.Request for the
+// full schema (distribution / inline points, kernel, accuracy, execution
+// shape, charges, deadline_ms, trace).
+//
+// Example:
+//
+//	dashmm-serve -addr :8075 &
+//	curl -s localhost:8075/evaluate -d '{"n":20000,"workers":4}' | head -c 200
+//	curl -s localhost:8075/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8075", "listen address")
+		maxQueue   = flag.Int("max-queue", 64, "admission queue depth; excess requests get 429")
+		maxConc    = flag.Int("max-concurrent", 2, "evaluations running at once")
+		cacheSize  = flag.Int("cache-size", 16, "plan-cache capacity (plans)")
+		deadline   = flag.Duration("default-deadline", 30*time.Second, "deadline for requests without deadline_ms")
+		maxPoints  = flag.Int("max-points", 200000, "largest accepted ensemble (-1 = unlimited)")
+		drainGrace = flag.Duration("drain", 10*time.Second, "shutdown grace period")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		MaxQueue:        *maxQueue,
+		MaxConcurrent:   *maxConc,
+		CacheSize:       *cacheSize,
+		DefaultDeadline: *deadline,
+		MaxPoints:       *maxPoints,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("dashmm-serve: draining (up to %v)", *drainGrace)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("dashmm-serve: forced shutdown: %v", err)
+		}
+		close(done)
+	}()
+
+	log.Printf("dashmm-serve: listening on %s (queue=%d, concurrent=%d, cache=%d plans)",
+		*addr, *maxQueue, *maxConc, *cacheSize)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done
+}

@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -36,7 +38,11 @@ func main() {
 	defer f.Close()
 	events, err := trace.ReadJSON(f)
 	if err != nil {
-		log.Fatal(err)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			log.Fatal(err)
+		}
+		// A truncated trace is still analyzable — warn and use the prefix.
+		fmt.Fprintf(os.Stderr, "traceview: warning: %v (analyzing the %d complete events)\n", err, len(events))
 	}
 	if len(events) == 0 {
 		log.Fatal("traceview: empty trace")
@@ -57,6 +63,21 @@ func main() {
 	sort.Ints(classes)
 	for _, c := range classes {
 		fmt.Printf("  %-5v %10d x %10.2f µs\n", dag.OpKind(c), counts[uint8(c)], avg[uint8(c)])
+	}
+	// Transport/recovery markers are zero-duration occurrence counters and
+	// are excluded from the averages; list their counts separately.
+	var markers []int
+	for c := range counts {
+		if trace.NetClassName(c) != "" {
+			markers = append(markers, int(c))
+		}
+	}
+	if len(markers) > 0 {
+		sort.Ints(markers)
+		fmt.Println("\nmarker events:")
+		for _, c := range markers {
+			fmt.Printf("  %-17s %10d\n", trace.NetClassName(uint8(c)), counts[uint8(c)])
+		}
 	}
 
 	u := trace.Analyze(events, *workers, *intervals, start, end)

@@ -72,6 +72,11 @@ type Runtime struct {
 	pending  atomic.Int64 // outstanding tasks + parcels
 	done     chan struct{}
 	doneOnce sync.Once
+	// gen counts completed Reset cycles: a runtime is born at generation 0
+	// and each successful Reset re-arms it for another Run. Long-lived
+	// callers (the serving layer) use generations to avoid paying the
+	// allocation cost of New per evaluation.
+	gen int
 
 	// killable gates the (cheap) dead-locality checks on the spawn and
 	// scheduling hot paths; it is set only when a failure detector is
@@ -303,8 +308,11 @@ func (rt *Runtime) finish() {
 
 // Run seeds the runtime by calling setup on locality 0 (outside any worker)
 // and blocks until all spawned work has drained (or Abort is called). It
-// returns basic execution statistics. A Runtime is single-shot: create a
-// new one for each run.
+// returns basic execution statistics. A Runtime runs one generation at a
+// time: after Run returns, call Reset to re-arm it for another Run (the
+// long-lived-service path), or create a new one. Reset refuses the
+// configurations that are genuinely single-shot (armed failure detector,
+// unreliable transport, aborted runs).
 func (rt *Runtime) Run(setup func()) Stats {
 	// Guard against an immediate empty run.
 	rt.pending.Add(1)
@@ -354,6 +362,56 @@ func (rt *Runtime) StatsNow() Stats {
 		LateSpawns:   rt.lateSpawns.Load(),
 		Transport:    rt.net.stats(),
 	}
+}
+
+// Generation returns how many times the runtime has been Reset. A fresh
+// runtime is generation 0.
+func (rt *Runtime) Generation() int { return rt.gen }
+
+// Reset re-arms the runtime for another Run, making it multi-shot: the
+// completion latch is recreated, the shutdown flag cleared and the stats
+// counters zeroed, while the expensive structures New builds — worker
+// structs, their lock-free deques and inboxes, the delivery engine — are
+// kept. The caller must only Reset a quiesced runtime: Run has returned and
+// no external goroutine is still delivering work to it.
+//
+// Reset refuses (returning an error, leaving the runtime unusable for
+// further Runs) when the previous run did not drain cleanly or when the
+// configuration pins state that is only correct single-shot:
+//
+//   - pending work remains (an aborted or stalled run — queues may hold
+//     tasks whose context is gone);
+//   - a failure detector is armed (a crashed locality's workers, inboxes
+//     and fencing tombstones are not revivable);
+//   - the transport is unreliable (the delivery layer's sequence windows
+//     and retransmission state encode one run's history).
+//
+// Callers handle an error by discarding the runtime and calling New — the
+// pool-and-recreate fallback.
+func (rt *Runtime) Reset() error {
+	if n := rt.pending.Load(); n != 0 {
+		return fmt.Errorf("amt: Reset with %d pending units (aborted run?)", n)
+	}
+	if rt.det != nil {
+		return fmt.Errorf("amt: Reset on a detector-armed runtime")
+	}
+	if !rt.net.fastPath {
+		return fmt.Errorf("amt: Reset over an unreliable transport")
+	}
+	rt.done = make(chan struct{})
+	rt.doneOnce = sync.Once{}
+	rt.shuttingDown.Store(false)
+	rt.parcelsSent.Store(0)
+	rt.parcelBytes.Store(0)
+	rt.tasksRun.Store(0)
+	rt.stealsOK.Store(0)
+	rt.stealsFailed.Store(0)
+	rt.ranksKilled.Store(0)
+	rt.tasksDropped.Store(0)
+	rt.spawnsToDead.Store(0)
+	rt.lateSpawns.Store(0)
+	rt.gen++
+	return nil
 }
 
 // Abort forces Run to return even though work is still pending. Used by

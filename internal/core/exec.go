@@ -82,6 +82,9 @@ type ExecReport struct {
 	RemoteEdges int64
 	Localities  int
 	Workers     int
+	// RuntimeReused reports that the evaluation ran on a pooled runtime
+	// re-armed from a previous Run instead of a freshly built one.
+	RuntimeReused bool
 	// Recovery reports crash-recovery activity (zero-valued when no
 	// detector was armed or no rank died).
 	Recovery RecoveryStats
@@ -112,12 +115,18 @@ func (p *Plan) Evaluate(charges []float64, opts ExecOptions) ([]float64, ExecRep
 // ParallelEvaluation is a reusable parallel evaluation context over one
 // Plan: the expansion payloads, the LCO trigger counters and the node
 // continuations are allocated once, so steady-state runs allocate nothing
-// per evaluated edge (the per-run cost is one fresh single-shot runtime
-// plus the returned potential vector).
+// per evaluated edge. On the perfect-wire, detector-less configuration the
+// runtime itself is kept across Runs too (amt.Runtime.Reset re-arms it per
+// generation), so repeated evaluations skip the amt.New worker/deque setup;
+// fault-injected and detector-armed shapes fall back to a fresh single-shot
+// runtime per Run.
 type ParallelEvaluation struct {
 	plan *Plan
 	opts ExecOptions
 	ex   *executor
+	// rt is the pooled runtime of the reusable configuration (nil until the
+	// first Run, and always nil for single-shot configurations).
+	rt *amt.Runtime
 }
 
 // NewParallelEvaluation allocates a parallel evaluation context. The DAG
@@ -156,7 +165,29 @@ func (p *Plan) NewParallelEvaluation(opts ExecOptions) (*ParallelEvaluation, err
 		}
 		ex.rec = rec
 	}
-	return &ParallelEvaluation{plan: p, opts: opts, ex: ex}, nil
+	pe := &ParallelEvaluation{plan: p, opts: opts, ex: ex}
+	p.registerCtx(pe)
+	return pe, nil
+}
+
+// Reset re-arms the context for a fresh run: payloads zeroed, every node's
+// trigger counter restored to its input count, the watchdog diagnosis
+// cleared, and any pooled runtime discarded. Run re-arms itself at entry,
+// so Reset matters for scrubbing a context whose last Run failed mid-way
+// (see Plan.Reset).
+func (e *ParallelEvaluation) Reset() {
+	ex := e.ex
+	ex.st.zeroAll()
+	for i := range ex.remaining {
+		ex.remaining[i].Store(ex.g.Nodes[i].In)
+	}
+	ex.stallMu.Lock()
+	ex.stallErr = nil
+	ex.stallMu.Unlock()
+	// A mid-run failure may have left the pooled runtime with undrained
+	// queues; drop it rather than reason about its state (amt.Runtime.Reset
+	// would refuse it anyway).
+	e.rt = nil
 }
 
 // Run evaluates the DAG for one charge vector on a fresh runtime, reusing
@@ -179,20 +210,41 @@ func (e *ParallelEvaluation) Run(charges []float64) ([]float64, ExecReport, erro
 	ex.stallErr = nil
 	ex.stallMu.Unlock()
 
-	var tp amt.Transport
-	if opts.Fault != nil {
-		tp = amt.NewFaultyTransport(*opts.Fault)
+	// Runtime: the perfect-wire, detector-less configuration (the serving
+	// hot path) keeps one runtime across Runs and re-arms it per generation
+	// (amt.Runtime.Reset), skipping the worker/deque/delivery allocation of
+	// amt.New. Fault-injected, latency-modeled and detector-armed shapes are
+	// genuinely single-shot — their wire and fencing state encode one run's
+	// history — and get a fresh runtime every time.
+	reusable := opts.Fault == nil && opts.Detector == nil && opts.Latency == 0
+	rt := e.rt
+	runtimeReused := false
+	if rt != nil {
+		if err := rt.Reset(); err == nil {
+			runtimeReused = true
+		} else {
+			rt = nil
+		}
 	}
-	rt := amt.New(amt.Config{
-		Localities: opts.Localities,
-		Workers:    opts.Workers,
-		Latency:    opts.Latency,
-		Seed:       opts.Seed,
-		Transport:  tp,
-		Delivery:   opts.Delivery,
-		Tracer:     opts.Tracer,
-		Detector:   opts.Detector,
-	})
+	if rt == nil {
+		var tp amt.Transport
+		if opts.Fault != nil {
+			tp = amt.NewFaultyTransport(*opts.Fault)
+		}
+		rt = amt.New(amt.Config{
+			Localities: opts.Localities,
+			Workers:    opts.Workers,
+			Latency:    opts.Latency,
+			Seed:       opts.Seed,
+			Transport:  tp,
+			Delivery:   opts.Delivery,
+			Tracer:     opts.Tracer,
+			Detector:   opts.Detector,
+		})
+	}
+	if reusable {
+		e.rt = rt
+	}
 	ex.rt = rt
 	if ex.rec != nil {
 		rt.OnFailure(ex.rec.onRankFailure)
@@ -251,14 +303,15 @@ func (e *ParallelEvaluation) Run(charges []float64) ([]float64, ExecReport, erro
 		}
 	}
 	return ex.st.potentials(), ExecReport{
-		Gradients:   ex.st.gradients(),
-		Runtime:     stats,
-		Elapsed:     elapsed,
-		RemoteBytes: dist.RemoteBytes(g),
-		RemoteEdges: dist.RemoteEdges(g),
-		Localities:  opts.Localities,
-		Workers:     opts.Workers,
-		Recovery:    recStats,
+		Gradients:     ex.st.gradients(),
+		Runtime:       stats,
+		Elapsed:       elapsed,
+		RemoteBytes:   dist.RemoteBytes(g),
+		RemoteEdges:   dist.RemoteEdges(g),
+		Localities:    opts.Localities,
+		Workers:       opts.Workers,
+		RuntimeReused: runtimeReused,
+		Recovery:      recStats,
 	}, nil
 }
 
@@ -266,7 +319,7 @@ func (e *ParallelEvaluation) Run(charges []float64) ([]float64, ExecReport, erro
 type executor struct {
 	st        *state
 	g         *dag.Graph
-	rt        *amt.Runtime // the current run's runtime (single-shot)
+	rt        *amt.Runtime // the current run's runtime
 	tracer    *trace.Tracer
 	priority  bool
 	remaining []atomic.Int32

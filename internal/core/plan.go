@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dag"
 	"repro/internal/geom"
@@ -51,6 +52,39 @@ type Plan struct {
 	Lists  []tree.Lists
 	Graph  *dag.Graph
 	opts   Options
+
+	// ctxMu guards ctxs, the evaluation contexts handed out by
+	// NewEvaluation / NewParallelEvaluation. Plan.Reset re-arms them all so
+	// a cached plan is re-executable without being rebuilt.
+	ctxMu sync.Mutex
+	ctxs  []resettable
+}
+
+// resettable is an evaluation context that can be re-armed for a fresh run.
+type resettable interface{ Reset() }
+
+// registerCtx records an evaluation context for Plan.Reset.
+func (p *Plan) registerCtx(c resettable) {
+	p.ctxMu.Lock()
+	p.ctxs = append(p.ctxs, c)
+	p.ctxMu.Unlock()
+}
+
+// Reset re-arms every evaluation context created from this plan: payload
+// buffers are zeroed and the LCO trigger counters restored to their input
+// counts (the amt.LCO.Reset semantics lifted to the whole plan). A cached
+// plan whose last evaluation failed mid-run (stall abort, unrecovered
+// crash) is re-executable after Reset instead of being rebuilt from the
+// ensembles. Runs themselves re-arm their own context at entry, so Reset
+// is only needed to scrub state outside a Run — it must not be called
+// concurrently with one.
+func (p *Plan) Reset() {
+	p.ctxMu.Lock()
+	ctxs := append([]resettable(nil), p.ctxs...)
+	p.ctxMu.Unlock()
+	for _, c := range ctxs {
+		c.Reset()
+	}
 }
 
 // NewPlan partitions the ensembles, computes the dual-tree lists, and builds
@@ -156,6 +190,21 @@ func (s *state) reset(charges []float64) {
 	for i, orig := range s.p.Source.Perm {
 		s.q[i] = charges[orig]
 	}
+	s.zeroDerived()
+}
+
+// zeroAll clears every payload including the charge vector: the state of a
+// freshly allocated context.
+func (s *state) zeroAll() {
+	for i := range s.q {
+		s.q[i] = 0
+	}
+	s.zeroDerived()
+}
+
+// zeroDerived zeroes everything computed from the charges: potentials,
+// gradients and all expansion payloads.
+func (s *state) zeroDerived() {
 	for i := range s.pot {
 		s.pot[i] = 0
 	}
@@ -403,8 +452,15 @@ func (p *Plan) NewEvaluation() (*Evaluation, error) {
 	if len(order) != len(p.Graph.Nodes) {
 		return nil, fmt.Errorf("core: graph is not a DAG")
 	}
-	return &Evaluation{plan: p, st: st, order: order}, nil
+	e := &Evaluation{plan: p, st: st, order: order}
+	p.registerCtx(e)
+	return e, nil
 }
+
+// Reset zeroes the context's payload buffers; the next Run starts from a
+// clean state. Run re-arms itself at entry, so Reset is only needed when
+// scrubbing a cached context outside a Run (see Plan.Reset).
+func (e *Evaluation) Reset() { e.st.zeroAll() }
 
 // Run evaluates the DAG for one charge vector, reusing the context's
 // buffers, and returns the potentials in the caller's target order.

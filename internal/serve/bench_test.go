@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchPost issues one request and fails the benchmark on a non-200.
+func benchPost(b *testing.B, url string, req Request) *Response {
+	b.Helper()
+	body, _ := json.Marshal(req)
+	hr, err := http.Post(url+"/evaluate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		b.Fatalf("HTTP %d", hr.StatusCode)
+	}
+	var resp Response
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		b.Fatal(err)
+	}
+	return &resp
+}
+
+// The benchmark problem: 6000-point cube ensembles at 5 accuracy digits.
+// At this accuracy the cold path is dominated by per-plan setup — tree +
+// lists + DAG construction plus the lazy M->L/M2M/L2L translation-operator
+// cache on the plan's kernel instance — all of which warm requests skip.
+const (
+	benchN      = 6000
+	benchDigits = 5
+)
+
+// BenchmarkServeCold measures requests that never hit the plan cache: each
+// iteration uses a fresh point seed, so the tree + lists + DAG + kernel
+// tables are rebuilt and a fresh runtime is spun up per request.
+func BenchmarkServeCold(b *testing.B) {
+	s := New(Config{CacheSize: 2, MaxConcurrent: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := benchPost(b, ts.URL, Request{N: benchN, Digits: benchDigits, Workers: 2, Seed: int64(100 + i)})
+		if resp.Report.CacheHit {
+			b.Fatal("cold iteration hit the cache")
+		}
+	}
+}
+
+// BenchmarkServeWarm measures the steady state of an iterative client: the
+// plan is cached, the evaluation context pooled, the runtime re-armed per
+// generation. The ratio to BenchmarkServeCold is the serving speedup
+// reported in EXPERIMENTS.md.
+func BenchmarkServeWarm(b *testing.B) {
+	s := New(Config{CacheSize: 2, MaxConcurrent: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	req := Request{N: benchN, Digits: benchDigits, Workers: 2}
+	benchPost(b, ts.URL, req) // prime the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := benchPost(b, ts.URL, req)
+		if !resp.Report.CacheHit {
+			b.Fatal("warm iteration missed the cache")
+		}
+	}
+}

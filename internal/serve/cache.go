@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/trace"
+)
+
+// planEntry is one cached plan: the built tree + DAG + kernel tables, plus
+// one long-lived ParallelEvaluation context per execution shape that has
+// been requested against it. The entry mutex serializes evaluations on the
+// plan — ExecOptions.Policy.Assign mutates the shared Graph's node
+// placement per Run, so two shapes (or even two runs of one shape) must not
+// overlap.
+type planEntry struct {
+	key string
+
+	build     sync.Once
+	buildErr  error
+	plan      *core.Plan
+	buildTime time.Duration
+
+	mu    sync.Mutex          // serializes build-shape + evaluate on this plan
+	evals map[string]*evalCtx // "LxW" -> context; guarded by mu
+
+	lastUsed int64 // cache clock tick; guarded by the cache mutex
+}
+
+// evalCtx is a pooled evaluation context for one execution shape: the
+// ParallelEvaluation (payload buffers, LCO network, pooled runtime) and a
+// permanently attached tracer that is enabled only for requests asking for
+// a capture.
+type evalCtx struct {
+	pe     *core.ParallelEvaluation
+	tracer *trace.Tracer
+}
+
+// planCache is an LRU cache of built plans keyed by Request.planKey().
+type planCache struct {
+	mu      sync.Mutex
+	max     int
+	clock   int64
+	entries map[string]*planEntry
+}
+
+func newPlanCache(max int) *planCache {
+	if max <= 0 {
+		max = 1
+	}
+	return &planCache{max: max, entries: make(map[string]*planEntry)}
+}
+
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// get returns the entry for key, creating it if absent. hit reports whether
+// the entry already existed; evicted how many plans the LRU dropped to make
+// room. The returned entry is unbuilt on a miss — the caller builds it via
+// ensureBuilt, so concurrent misses on one key build the plan exactly once.
+func (c *planCache) get(key string) (e *planEntry, hit bool, evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock++
+	if e = c.entries[key]; e != nil {
+		e.lastUsed = c.clock
+		return e, true, 0
+	}
+	for len(c.entries) >= c.max {
+		var oldest *planEntry
+		for _, cand := range c.entries {
+			if oldest == nil || cand.lastUsed < oldest.lastUsed {
+				oldest = cand
+			}
+		}
+		delete(c.entries, oldest.key)
+		evicted++
+	}
+	e = &planEntry{key: key, evals: make(map[string]*evalCtx)}
+	e.lastUsed = c.clock
+	c.entries[key] = e
+	return e, false, evicted
+}
+
+// ensureBuilt builds the plan on first use: ensembles are materialized, the
+// kernel constructed, and core.NewPlan runs the tree + list + DAG pipeline.
+// Every later request for the same key skips all of it.
+func (e *planEntry) ensureBuilt(r *Request) error {
+	e.build.Do(func() {
+		start := time.Now()
+		src, tgt := r.ensembles()
+		var k kernel.Kernel
+		order := kernel.OrderForDigits(r.Digits)
+		if r.Kernel == "yukawa" {
+			k = kernel.NewYukawa(order, r.Lambda)
+		} else {
+			k = kernel.NewLaplace(order)
+		}
+		e.plan, e.buildErr = core.NewPlan(src, tgt, k, core.Options{Threshold: r.Threshold})
+		e.buildTime = time.Since(start)
+	})
+	return e.buildErr
+}
+
+// shape returns (building if needed) the pooled evaluation context for the
+// request's execution shape. Caller must hold e.mu.
+func (e *planEntry) shape(r *Request) (*evalCtx, error) {
+	key := fmt.Sprintf("%dx%d", r.Localities, r.Workers)
+	if ctx := e.evals[key]; ctx != nil {
+		return ctx, nil
+	}
+	tr := trace.New(r.Localities * r.Workers)
+	tr.SetEnabled(false)
+	pe, err := e.plan.NewParallelEvaluation(core.ExecOptions{
+		Localities: r.Localities,
+		Workers:    r.Workers,
+		Tracer:     tr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx := &evalCtx{pe: pe, tracer: tr}
+	e.evals[key] = ctx
+	return ctx, nil
+}

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the server's expvar-style counter set, exposed as JSON at
+// /metrics. Counters are monotonically increasing atomics; gauges
+// (queue depth, in-flight evaluations) are sampled at render time.
+type Metrics struct {
+	Requests   atomic.Int64 // evaluation requests received
+	OK         atomic.Int64 // 200 responses
+	BadRequest atomic.Int64 // 400 responses
+	Shed       atomic.Int64 // 429 responses (queue full)
+	Deadline   atomic.Int64 // 503 responses (deadline expired while queued)
+	Failed     atomic.Int64 // 500 responses (evaluation errors)
+
+	CacheHits    atomic.Int64 // plan served from the cache
+	CacheMisses  atomic.Int64 // plan built for the request
+	CacheEvicted atomic.Int64 // plans dropped by the LRU
+	Coalesced    atomic.Int64 // requests piggybacked on an identical in-flight one
+
+	RuntimeReuses atomic.Int64 // evaluations on a pooled runtime generation
+	Traces        atomic.Int64 // per-request trace captures
+
+	queued   atomic.Int64 // requests waiting for an evaluation slot (gauge)
+	inflight atomic.Int64 // evaluations currently running (gauge)
+
+	// Per-phase latency histograms.
+	QueueWait Histogram
+	PlanBuild Histogram
+	Evaluate  Histogram
+	Total     Histogram
+}
+
+// histBuckets is the number of power-of-two latency buckets; bucket i
+// covers [2^i, 2^(i+1)) microseconds, bucket 0 includes everything below
+// 1µs, the last bucket is open-ended (~1.2h).
+const histBuckets = 32
+
+// Histogram is a lock-free log2-bucketed latency histogram in microseconds.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumUS   atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	b := 0
+	if us > 0 {
+		b = 64 - bitsLeadingZeros64(uint64(us))
+		if b >= histBuckets {
+			b = histBuckets - 1
+		}
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+}
+
+func bitsLeadingZeros64(x uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if x&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	SumUS int64 `json:"sum_us"`
+	// MeanUS and the quantiles are derived from the buckets; quantiles are
+	// upper bucket bounds, i.e. conservative estimates.
+	MeanUS float64          `json:"mean_us"`
+	P50US  int64            `json:"p50_us"`
+	P90US  int64            `json:"p90_us"`
+	P99US  int64            `json:"p99_us"`
+	MaxUS  int64            `json:"max_us_bucket"`
+	Bucket map[string]int64 `json:"buckets,omitempty"` // "us<=N" -> count
+}
+
+// Snapshot renders the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{Count: h.count.Load(), SumUS: h.sumUS.Load()}
+	if s.Count > 0 {
+		s.MeanUS = float64(s.SumUS) / float64(s.Count)
+	}
+	if total == 0 {
+		return s
+	}
+	bound := func(i int) int64 {
+		if i >= 63 {
+			return math.MaxInt64
+		}
+		return 1 << uint(i) // upper bound of bucket i-1... see Observe
+	}
+	quantile := func(q float64) int64 {
+		target := int64(math.Ceil(q * float64(total)))
+		var cum int64
+		for i := 0; i < histBuckets; i++ {
+			cum += counts[i]
+			if cum >= target {
+				return bound(i)
+			}
+		}
+		return bound(histBuckets)
+	}
+	s.P50US = quantile(0.50)
+	s.P90US = quantile(0.90)
+	s.P99US = quantile(0.99)
+	s.Bucket = map[string]int64{}
+	for i := 0; i < histBuckets; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		s.Bucket[bucketLabel(i)] = counts[i]
+		s.MaxUS = bound(i)
+	}
+	return s
+}
+
+func bucketLabel(i int) string {
+	if i == 0 {
+		return "us<=1"
+	}
+	return "us<=" + itoa(1<<uint(i))
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// MetricsSnapshot is the JSON body of /metrics.
+type MetricsSnapshot struct {
+	Requests   int64 `json:"requests"`
+	OK         int64 `json:"ok"`
+	BadRequest int64 `json:"bad_request"`
+	Shed       int64 `json:"shed"`
+	Deadline   int64 `json:"deadline"`
+	Failed     int64 `json:"failed"`
+
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEvicted int64 `json:"cache_evicted"`
+	CachedPlans  int64 `json:"cached_plans"`
+	Coalesced    int64 `json:"coalesced"`
+
+	RuntimeReuses int64 `json:"runtime_reuses"`
+	Traces        int64 `json:"traces"`
+
+	QueueDepth int64 `json:"queue_depth"`
+	Inflight   int64 `json:"inflight"`
+
+	QueueWait HistogramSnapshot `json:"queue_wait"`
+	PlanBuild HistogramSnapshot `json:"plan_build"`
+	Evaluate  HistogramSnapshot `json:"evaluate"`
+	Total     HistogramSnapshot `json:"total"`
+}
+
+func (m *Metrics) snapshot(cachedPlans int) MetricsSnapshot {
+	return MetricsSnapshot{
+		Requests:      m.Requests.Load(),
+		OK:            m.OK.Load(),
+		BadRequest:    m.BadRequest.Load(),
+		Shed:          m.Shed.Load(),
+		Deadline:      m.Deadline.Load(),
+		Failed:        m.Failed.Load(),
+		CacheHits:     m.CacheHits.Load(),
+		CacheMisses:   m.CacheMisses.Load(),
+		CacheEvicted:  m.CacheEvicted.Load(),
+		CachedPlans:   int64(cachedPlans),
+		Coalesced:     m.Coalesced.Load(),
+		RuntimeReuses: m.RuntimeReuses.Load(),
+		Traces:        m.Traces.Load(),
+		QueueDepth:    m.queued.Load(),
+		Inflight:      m.inflight.Load(),
+		QueueWait:     m.QueueWait.Snapshot(),
+		PlanBuild:     m.PlanBuild.Snapshot(),
+		Evaluate:      m.Evaluate.Snapshot(),
+		Total:         m.Total.Snapshot(),
+	}
+}

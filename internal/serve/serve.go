@@ -1,0 +1,346 @@
+// Package serve is the long-lived evaluation service behind cmd/dashmm-serve.
+//
+// The paper's premise (Section IV) is that FMM evaluation is iterative: the
+// same tree + DAG is evaluated for many charge vectors, so setup cost must
+// be amortized. This package lifts that amortization across requests of a
+// daemon: plans (tree + lists + DAG + kernel tables) are cached by their
+// problem key, evaluation contexts (payload buffers, LCO network) are
+// pooled per execution shape, and the amt runtime itself is multi-shot
+// (amt.Runtime.Reset), so a warm request skips every allocation the first
+// request paid for.
+//
+// Admission control keeps the daemon stable under load: a bounded queue
+// sheds excess requests with 429, per-request deadlines turn into 503
+// instead of unbounded waits, a semaphore caps concurrent evaluations, and
+// identical concurrent requests coalesce into a single evaluation.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Config bounds the server.
+type Config struct {
+	// MaxQueue is the admission-queue depth; requests beyond it are shed
+	// with 429 (default 64).
+	MaxQueue int
+	// MaxConcurrent caps evaluations running at once (default 2; plans are
+	// independently lockable, so two requests for different problems
+	// genuinely overlap).
+	MaxConcurrent int
+	// CacheSize is the plan-cache capacity in plans (default 16).
+	CacheSize int
+	// DefaultDeadline bounds requests that do not set deadline_ms
+	// (default 30s).
+	DefaultDeadline time.Duration
+	// MaxPoints rejects requests above this ensemble size with 400
+	// (default 200000; 0 keeps the default, -1 disables the limit).
+	MaxPoints int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 16
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxPoints == 0 {
+		c.MaxPoints = 200000
+	} else if c.MaxPoints < 0 {
+		c.MaxPoints = 0
+	}
+	return c
+}
+
+// call is one in-flight evaluation that identical concurrent requests
+// piggyback on. The leader fills status + resp/errBody, then closes done.
+type call struct {
+	done    chan struct{}
+	status  int
+	resp    *Response
+	errBody *errorBody
+}
+
+// Server is the evaluation daemon. Create with New, mount via Handler.
+type Server struct {
+	cfg     Config
+	cache   *planCache
+	metrics Metrics
+	sem     chan struct{}
+	start   time.Time
+
+	callMu sync.Mutex
+	calls  map[string]*call
+
+	mux *http.ServeMux
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newPlanCache(cfg.CacheSize),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		start: time.Now(),
+		calls: make(map[string]*call),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	// pprof is registered explicitly on this mux (the server never uses
+	// http.DefaultServeMux, so the blank-import side effect would miss).
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's counters (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ns": time.Since(s.start).Nanoseconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len()))
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	s.metrics.Requests.Add(1)
+	t0 := time.Now()
+
+	var req Request
+	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.metrics.BadRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if err := req.normalize(s.cfg); err != nil {
+		s.metrics.BadRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	// Coalescing: an identical request already in flight (same plan, shape,
+	// charges and trace flag) is waited on instead of re-evaluated. The
+	// leader is registered before it queues for a slot, so duplicates
+	// arriving any time before its response coalesce deterministically.
+	key := req.requestKey()
+	s.callMu.Lock()
+	if c := s.calls[key]; c != nil {
+		s.callMu.Unlock()
+		s.metrics.Coalesced.Add(1)
+		s.awaitCall(w, ctx, c, t0)
+		return
+	}
+
+	// Admission: bound the queue while still holding callMu, so the
+	// shed/registration decision is atomic with respect to duplicates.
+	if n := s.metrics.queued.Add(1); n > int64(s.cfg.MaxQueue) {
+		s.metrics.queued.Add(-1)
+		s.callMu.Unlock()
+		s.metrics.Shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests,
+			errorBody{Error: fmt.Sprintf("queue full (%d waiting)", s.cfg.MaxQueue)})
+		return
+	}
+	c := &call{done: make(chan struct{})}
+	s.calls[key] = c
+	s.callMu.Unlock()
+
+	// Leader: wait for an evaluation slot within the deadline.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.metrics.queued.Add(-1)
+		s.finishCall(key, c, http.StatusServiceUnavailable,
+			nil, &errorBody{Error: "deadline expired while queued"})
+		s.metrics.Deadline.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, *c.errBody)
+		return
+	}
+	queueWait := time.Since(t0)
+	s.metrics.queued.Add(-1)
+	s.metrics.QueueWait.Observe(queueWait)
+	s.metrics.inflight.Add(1)
+	defer func() {
+		s.metrics.inflight.Add(-1)
+		<-s.sem
+	}()
+
+	resp, errb := s.evaluate(&req, queueWait, t0)
+	if errb != nil {
+		s.finishCall(key, c, http.StatusInternalServerError, nil, errb)
+		s.metrics.Failed.Add(1)
+		writeJSON(w, http.StatusInternalServerError, *errb)
+		return
+	}
+	s.metrics.Total.Observe(resp.Report.Total)
+	s.finishCall(key, c, http.StatusOK, resp, nil)
+	s.metrics.OK.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// finishCall publishes the leader's outcome and unregisters the call so a
+// later identical request starts fresh.
+func (s *Server) finishCall(key string, c *call, status int, resp *Response, errb *errorBody) {
+	c.status = status
+	c.resp = resp
+	c.errBody = errb
+	s.callMu.Lock()
+	delete(s.calls, key)
+	s.callMu.Unlock()
+	close(c.done)
+}
+
+// awaitCall serves a coalesced duplicate: it waits for the leader's result
+// (bounded by the duplicate's own deadline) and mirrors it.
+func (s *Server) awaitCall(w http.ResponseWriter, ctx context.Context, c *call, t0 time.Time) {
+	select {
+	case <-ctx.Done():
+		s.metrics.Deadline.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorBody{Error: "deadline expired waiting on a coalesced request"})
+		return
+	case <-c.done:
+	}
+	if c.status != http.StatusOK {
+		s.metrics.Failed.Add(1)
+		writeJSON(w, c.status, *c.errBody)
+		return
+	}
+	resp := *c.resp
+	resp.Report.Coalesced = true
+	resp.Report.QueueWait = time.Since(t0)
+	resp.Report.Total = time.Since(t0)
+	s.metrics.OK.Add(1)
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+// evaluate serves one admitted request through the plan cache.
+func (s *Server) evaluate(req *Request, queueWait time.Duration, t0 time.Time) (*Response, *errorBody) {
+	entry, hit, evicted := s.cache.get(req.planKey())
+	if evicted > 0 {
+		s.metrics.CacheEvicted.Add(int64(evicted))
+	}
+	if hit {
+		s.metrics.CacheHits.Add(1)
+	} else {
+		s.metrics.CacheMisses.Add(1)
+	}
+	if err := entry.ensureBuilt(req); err != nil {
+		return nil, &errorBody{Error: "plan build failed: " + err.Error()}
+	}
+	var planBuild time.Duration
+	if !hit {
+		planBuild = entry.buildTime
+		s.metrics.PlanBuild.Observe(planBuild)
+	}
+
+	// Evaluations on one plan serialize: the placement policy mutates the
+	// shared graph per run. Different plans still run concurrently up to
+	// MaxConcurrent.
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	ctx, err := entry.shape(req)
+	if err != nil {
+		return nil, &errorBody{Error: "evaluation context: " + err.Error()}
+	}
+	if req.Trace {
+		ctx.tracer.Reset()
+		ctx.tracer.SetEnabled(true)
+	}
+	evalStart := time.Now()
+	potentials, rep, err := ctx.pe.Run(req.chargeVector())
+	evalDur := time.Since(evalStart)
+	var traceJSONL string
+	if req.Trace {
+		events := ctx.tracer.Snapshot()
+		ctx.tracer.SetEnabled(false)
+		var buf bytes.Buffer
+		if werr := trace.WriteJSON(&buf, events); werr == nil {
+			traceJSONL = buf.String()
+			s.metrics.Traces.Add(1)
+		}
+	}
+	if err != nil {
+		// Scrub the dirty mid-run state so the cached plan stays usable.
+		entry.plan.Reset()
+		return nil, &errorBody{Error: "evaluation failed: " + err.Error()}
+	}
+	s.metrics.Evaluate.Observe(evalDur)
+	if rep.RuntimeReused {
+		s.metrics.RuntimeReuses.Add(1)
+	}
+
+	g := entry.plan.Graph
+	return &Response{
+		Potentials: potentials,
+		Report: Report{
+			CacheHit:      hit,
+			RuntimeReused: rep.RuntimeReused,
+			QueueWait:     queueWait,
+			PlanBuild:     planBuild,
+			Evaluate:      evalDur,
+			Total:         time.Since(t0),
+			Localities:    rep.Localities,
+			Workers:       rep.Workers,
+			DAGNodes:      len(g.Nodes),
+			DAGEdges:      g.NumEdges(),
+			TasksRun:      rep.Runtime.TasksRun,
+			ParcelsSent:   rep.Runtime.ParcelsSent,
+			Steals:        rep.Runtime.Steals,
+		},
+		TraceJSONL: traceJSONL,
+	}, nil
+}

@@ -1,0 +1,462 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/points"
+	"repro/internal/trace"
+)
+
+func post(t *testing.T, url string, req Request) (int, *Response, *errorBody) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.Post(url+"/evaluate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode == http.StatusOK {
+		var resp Response
+		if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+			t.Fatalf("decoding 200 body: %v", err)
+		}
+		return hr.StatusCode, &resp, nil
+	}
+	var eb errorBody
+	if err := json.NewDecoder(hr.Body).Decode(&eb); err != nil {
+		t.Fatalf("decoding %d body: %v", hr.StatusCode, err)
+	}
+	return hr.StatusCode, nil, &eb
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Cold vs warm requests: the first request builds the plan (cache miss), the
+// second serves from the cache on a pooled runtime, and both match a direct
+// core evaluation of the same problem to 1e-12.
+func TestServeCacheHitMatchesDirectEvaluation(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := Request{N: 2000, Workers: 1, Localities: 1}
+	code, cold, _ := post(t, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("cold request: HTTP %d", code)
+	}
+	if cold.Report.CacheHit {
+		t.Error("first request reported a cache hit")
+	}
+	if cold.Report.PlanBuild <= 0 {
+		t.Error("cold request reports no plan-build time")
+	}
+
+	code, warm, _ := post(t, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("warm request: HTTP %d", code)
+	}
+	if !warm.Report.CacheHit {
+		t.Error("second identical request missed the cache")
+	}
+	if !warm.Report.RuntimeReused {
+		t.Error("second identical request did not reuse the pooled runtime")
+	}
+	if warm.Report.PlanBuild != 0 {
+		t.Errorf("warm request reports plan-build time %v", warm.Report.PlanBuild)
+	}
+
+	// Direct core evaluation of the identical problem, same execution
+	// shape: the served potentials must match to 1e-12 (same DAG, same
+	// single-worker execution order), and cold must match warm exactly as
+	// tightly (cached state fully reset between runs).
+	sp := points.Generate(points.Cube, 2000, 1)
+	tp := points.Generate(points.Cube, 2000, 2)
+	k := kernel.NewLaplace(kernel.OrderForDigits(3))
+	plan, err := core.NewPlan(sp, tp, k, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := plan.Evaluate(points.Charges(2000, 3), core.ExecOptions{Localities: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Potentials) != len(want) {
+		t.Fatalf("%d potentials, want %d", len(cold.Potentials), len(want))
+	}
+	for i := range want {
+		scale := math.Max(1, math.Abs(want[i]))
+		if d := math.Abs(cold.Potentials[i]-want[i]) / scale; d > 1e-12 {
+			t.Fatalf("cold potential %d off by %.2e", i, d)
+		}
+		if d := math.Abs(warm.Potentials[i]-want[i]) / scale; d > 1e-12 {
+			t.Fatalf("warm potential %d off by %.2e", i, d)
+		}
+	}
+
+	m := s.metrics.snapshot(s.cache.len())
+	if m.CacheMisses != 1 || m.CacheHits != 1 {
+		t.Errorf("cache counters: %d misses, %d hits, want 1 and 1", m.CacheMisses, m.CacheHits)
+	}
+	if m.CachedPlans != 1 {
+		t.Errorf("cached_plans=%d, want 1", m.CachedPlans)
+	}
+	if m.RuntimeReuses != 1 {
+		t.Errorf("runtime_reuses=%d, want 1", m.RuntimeReuses)
+	}
+}
+
+// Identical concurrent requests coalesce into one evaluation: with the only
+// evaluation slot held externally, a queued leader accumulates duplicates,
+// and all of them get the leader's potentials.
+func TestServeCoalescesDuplicates(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, MaxQueue: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.sem <- struct{}{} // hold the only evaluation slot
+	req := Request{N: 1200, Workers: 2}
+
+	const dupes = 3
+	results := make(chan *Response, 1+dupes)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		code, resp, _ := post(t, ts.URL, req)
+		if code != http.StatusOK {
+			t.Errorf("leader: HTTP %d", code)
+			results <- nil
+			return
+		}
+		results <- resp
+	}()
+	waitFor(t, "leader to queue", func() bool { return s.metrics.queued.Load() == 1 })
+
+	for i := 0; i < dupes; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, resp, _ := post(t, ts.URL, req)
+			if code != http.StatusOK {
+				t.Errorf("duplicate: HTTP %d", code)
+				results <- nil
+				return
+			}
+			results <- resp
+		}()
+	}
+	waitFor(t, "duplicates to coalesce", func() bool { return s.metrics.Coalesced.Load() == dupes })
+	<-s.sem // release the slot; the leader evaluates
+
+	wg.Wait()
+	close(results)
+	var coalesced int
+	var first []float64
+	for resp := range results {
+		if resp == nil {
+			continue
+		}
+		if resp.Report.Coalesced {
+			coalesced++
+		}
+		if first == nil {
+			first = resp.Potentials
+			continue
+		}
+		for i := range first {
+			if resp.Potentials[i] != first[i] {
+				t.Fatalf("coalesced responses disagree at potential %d", i)
+			}
+		}
+	}
+	if coalesced != dupes {
+		t.Errorf("%d responses marked coalesced, want %d", coalesced, dupes)
+	}
+	if got := s.metrics.Evaluate.count.Load(); got != 1 {
+		t.Errorf("%d evaluations ran for %d identical requests, want 1", got, 1+dupes)
+	}
+}
+
+// A full queue sheds with 429; a request whose deadline expires while
+// queued gets 503. Neither leaves the server wedged.
+func TestServeShedsUnderLoad(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, MaxQueue: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.sem <- struct{}{} // hold the only evaluation slot
+
+	// Occupy the single queue slot with a leader.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		code, _, _ := post(t, ts.URL, Request{N: 800, ChargeSeed: 10})
+		if code != http.StatusOK {
+			t.Errorf("queued request: HTTP %d", code)
+		}
+	}()
+	waitFor(t, "queue to fill", func() bool { return s.metrics.queued.Load() == 1 })
+
+	// A distinct request now overflows the queue.
+	code, _, eb := post(t, ts.URL, Request{N: 800, ChargeSeed: 11})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: HTTP %d, want 429", code)
+	}
+	if !strings.Contains(eb.Error, "queue full") {
+		t.Errorf("shed error = %q", eb.Error)
+	}
+	if s.metrics.Shed.Load() != 1 {
+		t.Errorf("shed counter = %d, want 1", s.metrics.Shed.Load())
+	}
+
+	// A duplicate of the queued leader still coalesces (no queue slot
+	// needed) but then times out on its own deadline.
+	code, _, eb = post(t, ts.URL, Request{N: 800, ChargeSeed: 10, DeadlineMS: 50})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("deadline duplicate: HTTP %d, want 503", code)
+	}
+	if !strings.Contains(eb.Error, "deadline") {
+		t.Errorf("deadline error = %q", eb.Error)
+	}
+
+	<-s.sem // release; the queued leader completes
+	wg.Wait()
+
+	// The server still serves after shedding.
+	if code, _, _ := post(t, ts.URL, Request{N: 800, ChargeSeed: 12}); code != http.StatusOK {
+		t.Fatalf("post-shed request: HTTP %d", code)
+	}
+}
+
+// A request with deadline_ms expiring while queued is refused with 503 and
+// unregistered, so a later identical request succeeds.
+func TestServeDeadlineWhileQueued(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.sem <- struct{}{}
+	code, _, eb := post(t, ts.URL, Request{N: 800, DeadlineMS: 50})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("HTTP %d, want 503", code)
+	}
+	if !strings.Contains(eb.Error, "deadline") {
+		t.Errorf("error = %q", eb.Error)
+	}
+	if s.metrics.Deadline.Load() != 1 {
+		t.Errorf("deadline counter = %d, want 1", s.metrics.Deadline.Load())
+	}
+	<-s.sem
+	if code, _, _ := post(t, ts.URL, Request{N: 800}); code != http.StatusOK {
+		t.Fatalf("follow-up request: HTTP %d (stale in-flight registration?)", code)
+	}
+}
+
+// Malformed requests get 400 with a diagnostic, not 500.
+func TestServeRejectsBadRequests(t *testing.T) {
+	s := New(Config{MaxPoints: 5000})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		req  Request
+		want string
+	}{
+		{"zero points", Request{}, "n must be positive"},
+		{"too many points", Request{N: 6000}, "server limit"},
+		{"bad distribution", Request{N: 100, Distribution: "torus"}, "unknown distribution"},
+		{"bad kernel", Request{N: 100, Kernel: "helmholtz"}, "unknown kernel"},
+		{"bad digits", Request{N: 100, Digits: 13}, "out of range"},
+		{"charge mismatch", Request{N: 100, Charges: []float64{1, 2}}, "charges for"},
+	}
+	for _, c := range cases {
+		code, _, eb := post(t, ts.URL, c.req)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", c.name, code)
+			continue
+		}
+		if !strings.Contains(eb.Error, c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, eb.Error, c.want)
+		}
+	}
+	if got := s.metrics.BadRequest.Load(); got != int64(len(cases)) {
+		t.Errorf("bad_request counter = %d, want %d", got, len(cases))
+	}
+}
+
+// A traced request returns the evaluation's event log in trace.WriteJSON
+// format, and the capture does not leak into untraced requests.
+func TestServePerRequestTrace(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, resp, _ := post(t, ts.URL, Request{N: 1200, Workers: 2, Trace: true})
+	if code != http.StatusOK {
+		t.Fatalf("traced request: HTTP %d", code)
+	}
+	if resp.TraceJSONL == "" {
+		t.Fatal("traced request returned no trace")
+	}
+	events, err := trace.ReadJSON(strings.NewReader(resp.TraceJSONL))
+	if err != nil {
+		t.Fatalf("returned trace does not parse: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("returned trace is empty")
+	}
+	if int64(len(events)) < resp.Report.TasksRun/2 {
+		t.Errorf("trace has %d events for %d tasks", len(events), resp.Report.TasksRun)
+	}
+
+	code, resp, _ = post(t, ts.URL, Request{N: 1200, Workers: 2})
+	if code != http.StatusOK {
+		t.Fatalf("untraced request: HTTP %d", code)
+	}
+	if resp.TraceJSONL != "" {
+		t.Error("untraced request returned a trace")
+	}
+}
+
+// /healthz and /metrics respond with well-formed JSON.
+func TestServeObservabilityEndpoints(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if health["status"] != "ok" {
+		t.Errorf("healthz status = %v", health["status"])
+	}
+
+	if code, _, _ := post(t, ts.URL, Request{N: 600}); code != http.StatusOK {
+		t.Fatalf("request: HTTP %d", code)
+	}
+	hr, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m MetricsSnapshot
+	if err := json.NewDecoder(hr.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if m.Requests != 1 || m.OK != 1 || m.CacheMisses != 1 {
+		t.Errorf("metrics after one request: %+v", m)
+	}
+	if m.Total.Count != 1 || m.Evaluate.Count != 1 || m.Total.P50US <= 0 {
+		t.Errorf("latency histograms not populated: total=%+v evaluate=%+v", m.Total, m.Evaluate)
+	}
+}
+
+// The ci smoke test: concurrent mixed requests (different problems, shapes,
+// charge vectors, some duplicates, one trace) all succeed, the metrics add
+// up, and the server leaks no goroutines.
+func TestServeSmoke(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(Config{MaxConcurrent: 2, MaxQueue: 64})
+	ts := httptest.NewServer(s.Handler())
+
+	reqs := []Request{
+		{N: 900},
+		{N: 900},                          // duplicate of the first (coalesces or hits)
+		{N: 900, Workers: 2},              // same plan, new shape
+		{N: 900, ChargeSeed: 7},           // same plan, new charges
+		{N: 1100, Distribution: "sphere"}, // second plan
+		{N: 1100, Distribution: "sphere", Trace: true},
+		{N: 700, Kernel: "yukawa", Digits: 2}, // third plan
+		{N: 900, Localities: 2, Workers: 2},   // multi-locality shape
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(reqs))
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r Request) {
+			defer wg.Done()
+			code, resp, eb := post(t, ts.URL, r)
+			if code != http.StatusOK {
+				errs <- fmt.Errorf("request %d: HTTP %d (%v)", i, code, eb)
+				return
+			}
+			if len(resp.Potentials) != r.N && len(resp.Potentials) != 0 {
+				if r.N == 0 {
+					return
+				}
+				errs <- fmt.Errorf("request %d: %d potentials for n=%d", i, len(resp.Potentials), r.N)
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	m := s.metrics.snapshot(s.cache.len())
+	if m.Requests != int64(len(reqs)) {
+		t.Errorf("requests=%d, want %d", m.Requests, len(reqs))
+	}
+	if m.OK != int64(len(reqs)) {
+		t.Errorf("ok=%d, want %d", m.OK, len(reqs))
+	}
+	if m.Shed != 0 || m.Failed != 0 || m.Deadline != 0 {
+		t.Errorf("unexpected failures: shed=%d failed=%d deadline=%d", m.Shed, m.Failed, m.Deadline)
+	}
+	if m.CacheMisses != 3 {
+		t.Errorf("cache_misses=%d, want 3 (three distinct plans)", m.CacheMisses)
+	}
+	if m.CacheHits+m.Coalesced != int64(len(reqs))-3 {
+		t.Errorf("hits=%d + coalesced=%d, want %d together", m.CacheHits, m.Coalesced, len(reqs)-3)
+	}
+	if m.QueueDepth != 0 || m.Inflight != 0 {
+		t.Errorf("gauges not drained: queue=%d inflight=%d", m.QueueDepth, m.Inflight)
+	}
+	if m.Traces != 1 {
+		t.Errorf("traces=%d, want 1", m.Traces)
+	}
+	if m.Total.Count != m.OK-m.Coalesced {
+		t.Errorf("total histogram count=%d, want %d", m.Total.Count, m.OK-m.Coalesced)
+	}
+
+	ts.Close()
+	// Goroutine-leak soft check: pooled runtimes park their workers inside
+	// Run, so after the server quiesces the count must return to baseline.
+	waitFor(t, "goroutines to drain", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+2
+	})
+}

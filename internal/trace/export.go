@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 )
 
@@ -11,7 +12,9 @@ import (
 // facility's serialization: traces are written as JSON lines so external
 // tooling (or a later analysis run) can consume them.
 
-// WriteJSON writes the events as one JSON object per line.
+// WriteJSON writes the events as one JSON object per line. Every line,
+// including the last, is newline-terminated; ReadJSON relies on that to
+// detect truncated files.
 func WriteJSON(w io.Writer, events []Event) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
@@ -24,17 +27,57 @@ func WriteJSON(w io.Writer, events []Event) error {
 }
 
 // ReadJSON reads events written by WriteJSON.
+//
+// A trace file cut short (an interrupted writer, a partial copy) ends in a
+// line that is either incomplete JSON or missing its terminating newline.
+// Both cases return the successfully parsed prefix together with an error
+// wrapping io.ErrUnexpectedEOF, instead of silently dropping the tail and
+// reporting success: a truncated trace skews every downstream analysis
+// (utilization span, per-class averages) and must be visible to the caller.
+// Callers that can live with a partial trace may keep the returned events
+// when errors.Is(err, io.ErrUnexpectedEOF).
 func ReadJSON(r io.Reader) ([]Event, error) {
-	dec := json.NewDecoder(r)
+	br := bufio.NewReader(r)
 	var out []Event
-	for {
+	for line := 1; ; line++ {
+		raw, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return out, err
+		}
+		complete := err == nil // saw the terminating newline
+		if !complete && len(trimSpace(raw)) == 0 {
+			return out, nil // clean EOF (or trailing whitespace only)
+		}
 		var ev Event
-		if err := dec.Decode(&ev); err != nil {
-			if err == io.EOF {
-				return out, nil
+		if uerr := json.Unmarshal(raw, &ev); uerr != nil {
+			if !complete {
+				// Partial final line: the writer was cut off mid-record.
+				return out, fmt.Errorf("trace: truncated event on line %d: %w", line, io.ErrUnexpectedEOF)
 			}
-			return nil, err
+			return out, fmt.Errorf("trace: malformed event on line %d: %w", line, uerr)
+		}
+		if !complete {
+			// The line parses but lacks its newline: WriteJSON terminates
+			// every record, so the file was still truncated — the record
+			// may itself be a cut-down prefix of a longer one (e.g. a
+			// number losing trailing digits still decodes). Keep it, but
+			// tell the caller the file is incomplete.
+			out = append(out, ev)
+			return out, fmt.Errorf("trace: unterminated final event on line %d: %w", line, io.ErrUnexpectedEOF)
 		}
 		out = append(out, ev)
 	}
 }
+
+// trimSpace returns b without leading/trailing JSON whitespace.
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && isSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }

@@ -99,6 +99,18 @@ func New(workers int) *Tracer {
 // disabled.
 func (t *Tracer) Enabled() bool { return t != nil && t.enabled }
 
+// SetEnabled switches event recording on or off. A long-lived evaluation
+// context can keep a tracer attached permanently and enable it only for
+// requests that asked for a capture; the disabled state costs one boolean
+// check per recorded event. It must not be flipped while workers are
+// actively recording (the serving layer serializes it with evaluations).
+func (t *Tracer) SetEnabled(on bool) {
+	if t == nil {
+		return
+	}
+	t.enabled = on
+}
+
 // Now returns the tracer-relative timestamp in nanoseconds.
 func (t *Tracer) Now() int64 { return int64(time.Since(t.epoch)) }
 
@@ -243,11 +255,17 @@ func Span(events []Event) (start, end int64) {
 }
 
 // AvgMicrosByClass returns the average event duration per class in
-// microseconds (the t_avg column of Table II).
+// microseconds (the t_avg column of Table II). Transport and recovery
+// marker classes (the zero-duration 0xE0../0xF0.. events) are excluded:
+// they are occurrence counters, not timed operator executions, and
+// averaging them would emit meaningless 0µs rows in the Table II output.
 func AvgMicrosByClass(events []Event) map[uint8]float64 {
 	sum := map[uint8]float64{}
 	cnt := map[uint8]int{}
 	for _, ev := range events {
+		if NetClassName(ev.Class) != "" {
+			continue
+		}
 		sum[ev.Class] += float64(ev.End - ev.Start)
 		cnt[ev.Class]++
 	}
@@ -258,31 +276,63 @@ func AvgMicrosByClass(events []Event) map[uint8]float64 {
 	return out
 }
 
+// starvationExitFrac is the explicit exit hysteresis of the dip scan: once
+// a dip has been entered (utilization below frac*plateau), it persists
+// until utilization recovers above starvationExitFrac*plateau. The exit
+// threshold sits above any sensible entry threshold so a dip that wobbles
+// around the entry level is reported as one dip, not many.
+const starvationExitFrac = 0.97
+
 // Starvation locates the end-of-run underutilization dip the paper observes
 // (Fig. 4): the longest run of trailing intervals, ending before the final
 // ramp-down, whose utilization is below frac of the plateau. It returns the
 // dip's first and last interval indices and the plateau level; found is
 // false if utilization never drops below frac*plateau after the warmup.
+//
+// Entry and exit use explicit hysteresis: the dip starts at the first
+// interval below frac*plateau and extends while utilization stays below
+// starvationExitFrac*plateau. Because the exit threshold is looser than the
+// entry one, an unguarded scan would run straight through the run's final
+// ramp-down (the last intervals, where utilization falls to zero simply
+// because the work drains) and overstate the dip width; the trailing
+// monotone decline that touches the end of the run is therefore trimmed
+// back off the reported dip.
 func (u *Utilization) Starvation(frac float64) (first, last int, plateau float64, found bool) {
 	m := u.Intervals
 	if m == 0 {
 		return 0, 0, 0, false
 	}
-	// Plateau: median of the middle half of the run.
+	// Plateau: median of the middle half of the run. For runs analyzed over
+	// very few intervals the middle-half slice [m/4, 3m/4) can be empty
+	// (m < 4) — fall back to the median of the whole profile instead of
+	// silently reporting "no dip".
 	mid := append([]float64(nil), u.Total[m/4:3*m/4]...)
-	sort.Float64s(mid)
 	if len(mid) == 0 {
-		return 0, 0, 0, false
+		mid = append(mid, u.Total...)
 	}
+	sort.Float64s(mid)
 	plateau = mid[len(mid)/2]
 	thresh := frac * plateau
+	exit := starvationExitFrac * plateau
+	if exit < thresh {
+		exit = thresh // hysteresis must never be tighter than the entry
+	}
 	// Scan from 20% (skipping the startup ramp) for the first dip.
 	for k := m / 5; k < m; k++ {
 		if u.Total[k] < thresh {
 			first = k
 			last = k
-			for last+1 < m && u.Total[last+1] < plateau*0.97 {
+			for last+1 < m && u.Total[last+1] < exit {
 				last++
+			}
+			// If the hysteresis carried the dip into the terminal
+			// ramp-down, trim the monotone non-increasing tail that ends
+			// the run: those intervals are the evaluation finishing, not
+			// scheduler starvation.
+			if last == m-1 {
+				for last > first && u.Total[last] <= u.Total[last-1] && u.Total[last] < thresh {
+					last--
+				}
 			}
 			return first, last, plateau, true
 		}

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math"
 	"sync"
 	"testing"
@@ -114,6 +116,90 @@ func TestStarvationDetectsDip(t *testing.T) {
 	}
 }
 
+// syntheticProfile turns a per-interval utilization level function into an
+// event list whose Analyze output reproduces those levels for one worker.
+func syntheticProfile(m int, span int64, level func(k int) float64) []Event {
+	dt := span / int64(m)
+	var events []Event
+	for k := 0; k < m; k++ {
+		dur := int64(level(k) * float64(dt))
+		if dur > 0 {
+			events = append(events, Event{Class: 0, Start: int64(k) * dt, End: int64(k)*dt + dur})
+		}
+	}
+	return events
+}
+
+// Regression: for m < 4 the middle-half plateau slice u.Total[m/4:3m/4] is
+// empty and Starvation used to return a silent false; it must fall back to
+// the whole-profile median and still find an obvious dip.
+func TestStarvationSmallIntervalCount(t *testing.T) {
+	for m := 1; m < 8; m++ {
+		span := int64(1000 * m)
+		u := Analyze(syntheticProfile(m, span, func(k int) float64 {
+			if m >= 2 && k == m-1 {
+				return 0.1 // dip in the last interval
+			}
+			return 0.9
+		}), 1, m, 0, span)
+		_, _, plateau, found := u.Starvation(0.7)
+		if m == 1 {
+			// A single 0.9 interval: no dip, but the plateau must still be
+			// computed rather than bailing out.
+			if found || plateau == 0 {
+				t.Errorf("m=1: found=%v plateau=%v", found, plateau)
+			}
+			continue
+		}
+		if !found {
+			t.Errorf("m=%d: dip in final interval not found (plateau %v)", m, plateau)
+		}
+	}
+}
+
+// Regression: the dip-extension hysteresis (exit at starvationExitFrac of
+// the plateau) used to run straight through the final ramp-down, reporting
+// a dip that extended to the last interval even though the trailing
+// intervals are just the run finishing. The trailing monotone decline must
+// be trimmed off the reported width.
+func TestStarvationTrimsFinalRampDown(t *testing.T) {
+	m := 100
+	span := int64(100000)
+	u := Analyze(syntheticProfile(m, span, func(k int) float64 {
+		switch {
+		case k < 10: // startup ramp
+			return float64(k) / 10 * 0.9
+		case k >= 70 && k < 85: // the genuine starvation dip
+			return 0.3
+		case k >= 85 && k < 95: // partial recovery below the 0.97 hysteresis
+			return 0.8
+		case k >= 95: // final ramp-down to zero as work drains
+			return 0.8 * float64(m-1-k) / 5
+		default:
+			return 0.9
+		}
+	}), 1, m, 0, span)
+	first, last, plateau, found := u.Starvation(0.7)
+	if !found {
+		t.Fatal("dip not found")
+	}
+	if math.Abs(plateau-0.9) > 0.05 {
+		t.Errorf("plateau %v, want about 0.9", plateau)
+	}
+	if first < 68 || first > 72 {
+		t.Errorf("dip starts at %d, want about 70", first)
+	}
+	// The 0.8 recovery sits below 0.97*0.9 so the hysteresis keeps the dip
+	// open through it — but the ramp-down tail from k=95 must be trimmed:
+	// the dip must not extend to the final interval.
+	if last >= m-1 {
+		t.Errorf("dip ran through the final ramp-down: last=%d", last)
+	}
+	if last > 95 {
+		t.Errorf("dip ends at %d, want at or before the ramp-down start (95)", last)
+	}
+}
+
 func TestStarvationAbsentOnFlatProfile(t *testing.T) {
 	m := 50
 	span := int64(50000)
@@ -199,6 +285,33 @@ func TestAvgMicrosByClass(t *testing.T) {
 	}
 }
 
+// Regression: the zero-duration transport/recovery marker classes must not
+// appear in the Table II averages — they are occurrence counters, and their
+// 0µs rows used to pollute the table (and any operator class that shared a
+// class byte with a marker would have had its average dragged down).
+func TestAvgMicrosByClassExcludesMarkers(t *testing.T) {
+	events := []Event{
+		{Class: 7, Start: 0, End: 2000},
+		{Class: ClassNetRetry, Start: 100, End: 100},
+		{Class: ClassNetDrop, Start: 200, End: 200},
+		{Class: ClassRecoveryKill, Start: 300, End: 300},
+		{Class: ClassRecoveryReplay, Start: 400, End: 400},
+	}
+	avg := AvgMicrosByClass(events)
+	if len(avg) != 1 {
+		t.Fatalf("got %d classes, want only the operator class: %v", len(avg), avg)
+	}
+	if math.Abs(avg[7]-2) > 1e-9 {
+		t.Errorf("avg class 7 = %v, want 2", avg[7])
+	}
+	for _, c := range []uint8{ClassNetRetry, ClassNetDrop, ClassNetDup, ClassNetDeadline,
+		ClassRecoveryKill, ClassRecoveryDetect, ClassRecoveryFailover, ClassRecoveryReplay} {
+		if _, ok := avg[c]; ok {
+			t.Errorf("marker class %#x (%s) present in averages", c, NetClassName(c))
+		}
+	}
+}
+
 func TestSpan(t *testing.T) {
 	s, e := Span([]Event{{Start: 5, End: 10}, {Start: 2, End: 7}, {Start: 6, End: 20}})
 	if s != 2 || e != 20 {
@@ -238,5 +351,84 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 	if got, err := ReadJSON(&buf); err != nil || len(got) != 0 {
 		t.Errorf("empty round trip: %v %v", got, err)
+	}
+}
+
+// Round trip including the zero-duration transport/recovery marker classes:
+// markers travel the same serialization as operator events and must survive
+// unchanged (class byte, zero duration, negative worker id).
+func TestJSONRoundTripMarkerClasses(t *testing.T) {
+	events := []Event{
+		{Class: 1, Worker: 0, Locality: 0, Start: 10, End: 20},
+		{Class: ClassNetRetry, Worker: -1, Locality: 2, Start: 15, End: 15},
+		{Class: ClassNetDeadline, Worker: -1, Locality: 0, Start: 16, End: 16},
+		{Class: ClassRecoveryKill, Worker: -1, Locality: 1, Start: 17, End: 17},
+		{Class: ClassRecoveryFailover, Worker: -1, Locality: 3, Start: 18, End: 18},
+		{Class: 9, Worker: 3, Locality: 1, Start: 25, End: 40},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("got %d events, want %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Errorf("event %d: %+v vs %+v", i, got[i], events[i])
+		}
+	}
+}
+
+// Regression: a trace file cut off mid-record must surface
+// io.ErrUnexpectedEOF (with the complete prefix still returned) instead of
+// silently succeeding with the tail dropped.
+func TestReadJSONTruncated(t *testing.T) {
+	events := []Event{
+		{Class: 1, Worker: 0, Start: 10, End: 20},
+		{Class: 2, Worker: 1, Start: 30, End: 45},
+		{Class: 3, Worker: 0, Start: 50, End: 60},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut inside the final record (drop the last 5 bytes: "}\n" and part of
+	// the value before it).
+	cut := full[:len(full)-5]
+	got, err := ReadJSON(bytes.NewReader(cut))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("mid-record truncation: err=%v, want io.ErrUnexpectedEOF", err)
+	}
+	if len(got) != 2 {
+		t.Errorf("got %d complete events, want 2", len(got))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Errorf("prefix event %d: %+v vs %+v", i, got[i], events[i])
+		}
+	}
+	// Cut exactly the final newline: the last record parses but the file is
+	// still flagged as truncated (WriteJSON terminates every line).
+	got, err = ReadJSON(bytes.NewReader(full[:len(full)-1]))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("missing final newline: err=%v, want io.ErrUnexpectedEOF", err)
+	}
+	if len(got) != 3 {
+		t.Errorf("got %d events, want all 3", len(got))
+	}
+	// Interior corruption is a malformed-event error, not a truncation.
+	corrupt := append([]byte("this is not json\n"), full...)
+	if _, err := ReadJSON(bytes.NewReader(corrupt)); err == nil || errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("corrupt line: err=%v, want a malformed-event error", err)
+	}
+	// An intact file still reads cleanly.
+	if got, err := ReadJSON(bytes.NewReader(full)); err != nil || len(got) != 3 {
+		t.Errorf("intact file: %d events, err=%v", len(got), err)
 	}
 }

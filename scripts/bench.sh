@@ -9,9 +9,54 @@
 # comparison is simply skipped.
 #
 # Usage: scripts/bench.sh [extra go test args...]
+#        scripts/bench.sh serve   # warm-vs-cold serving benchmark -> BENCH_serve.json
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# Serving throughput: cold requests (fresh plan + operators + runtime per
+# request) against the warm steady state (plan cache + pooled runtime).
+# The printed speedup is the number EXPERIMENTS.md quotes.
+if [ "${1:-}" = "serve" ]; then
+    shift
+    raw=$(mktemp)
+    trap 'rm -f "$raw"' EXIT
+    go test ./internal/serve -run '^$' \
+        -bench 'BenchmarkServe(Cold|Warm)' \
+        -benchtime 3x -timeout 20m "$@" | tee "$raw"
+    awk '
+    BEGIN { print "["; first = 1 }
+    /^Benchmark/ {
+        name = $1; iters = $2
+        if (!first) printf ",\n"
+        first = 0
+        printf "  {\"name\": \"%s\", \"iterations\": %s", name, iters
+        for (i = 3; i < NF; i += 2) {
+            unit = $(i + 1)
+            gsub(/\//, "_per_", unit)
+            gsub(/[^A-Za-z0-9_]/, "_", unit)
+            printf ", \"%s\": %s", unit, $i
+        }
+        printf "}"
+    }
+    END { print "\n]" }
+    ' "$raw" > BENCH_serve.json
+    echo "wrote BENCH_serve.json"
+    awk '
+    match($0, /"name": "[^"]*"/) {
+        name = substr($0, RSTART + 9, RLENGTH - 10)
+        if (match($0, /"ns_per_op": [0-9.e+]*/))
+            ns[name] = substr($0, RSTART + 13, RLENGTH - 13)
+    }
+    END {
+        cold = ns["BenchmarkServeCold"]
+        warm = ns["BenchmarkServeWarm"]
+        if (cold + 0 > 0 && warm + 0 > 0)
+            printf "warm-cache speedup: cold %s -> warm %s ns/op (%.1fx)\n", cold, warm, cold / warm
+    }
+    ' BENCH_serve.json
+    exit 0
+fi
 
 prev=""
 if [ -f BENCH_hotpath.json ]; then
