@@ -1,0 +1,217 @@
+// Command dashmm-lint runs the repository's concurrency & determinism
+// checker suite (internal/analysis) over Go package patterns.
+//
+// Usage:
+//
+//	dashmm-lint [flags] [packages]
+//
+// With no packages, ./... is linted. Exit status is 1 when any diagnostic
+// is reported, 2 on operational failure (unparseable package, bad flag).
+//
+// Flags:
+//
+//	-json          emit diagnostics as a JSON array instead of text
+//	-checks LIST   comma-separated subset of checkers to run (default all)
+//	-fix MODE      "suppress": instead of reporting, insert a
+//	               //lint:ignore stub above each flagged line, for a human
+//	               to either justify or fix
+//	-list          print the available checkers and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("dashmm-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit diagnostics as JSON")
+		checks  = fs.String("checks", "", "comma-separated subset of checkers to run (default: all)")
+		fixMode = fs.String("fix", "", `"suppress" inserts //lint:ignore stubs instead of reporting`)
+		list    = fs.Bool("list", false, "list available checkers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := analysis.DefaultAnalyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(all, *checks)
+	if err != nil {
+		fmt.Fprintln(stderr, "dashmm-lint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "dashmm-lint:", err)
+		return 2
+	}
+	loader := analysis.NewLoader(wd)
+	passes, err := loader.LoadPatterns(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "dashmm-lint:", err)
+		return 2
+	}
+
+	diags := analysis.Run(passes, analyzers)
+
+	switch *fixMode {
+	case "":
+	case "suppress":
+		n, err := suppressAll(diags)
+		if err != nil {
+			fmt.Fprintln(stderr, "dashmm-lint:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "dashmm-lint: inserted %d //lint:ignore stub(s); grep for %q and justify or fix them\n",
+			n, stubReason)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "dashmm-lint: unknown -fix mode %q (only \"suppress\")\n", *fixMode)
+		return 2
+	}
+
+	if *jsonOut {
+		type jsonDiag struct {
+			Check   string `json:"check"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Column  int    `json:"column"`
+			Message string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				Check: d.Check, File: d.Pos.Filename,
+				Line: d.Pos.Line, Column: d.Pos.Column, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "dashmm-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "dashmm-lint: %d diagnostic(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers filters the registry down to the -checks subset.
+func selectAnalyzers(all []analysis.Analyzer, checks string) ([]analysis.Analyzer, error) {
+	if checks == "" {
+		return all, nil
+	}
+	byName := map[string]analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name()] = a
+	}
+	var selected []analysis.Analyzer
+	for _, name := range strings.Split(checks, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (run with -list to see the registry)", name)
+		}
+		selected = append(selected, a)
+	}
+	return selected, nil
+}
+
+const stubReason = "TODO(justify): inserted by dashmm-lint -fix=suppress"
+
+// suppressAll inserts a //lint:ignore stub line above every diagnostic.
+// Insertions are applied per file, bottom-up, so earlier line numbers stay
+// valid. The pseudo-check "lint" (malformed suppressions) can't itself be
+// suppressed and is skipped.
+func suppressAll(diags []analysis.Diagnostic) (int, error) {
+	perFile := map[string][]analysis.Diagnostic{}
+	for _, d := range diags {
+		if d.Check == "lint" {
+			continue
+		}
+		perFile[d.Pos.Filename] = append(perFile[d.Pos.Filename], d)
+	}
+	total := 0
+	for file, ds := range perFile {
+		// Deepest line first; merge checks flagged on the same line.
+		sort.Slice(ds, func(i, j int) bool { return ds[i].Pos.Line > ds[j].Pos.Line })
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return total, err
+		}
+		lines := strings.Split(string(data), "\n")
+		lastLine := -1
+		var lineChecks []string
+		flush := func() error {
+			if lastLine < 0 {
+				return nil
+			}
+			idx := lastLine - 1 // 0-based index of the flagged line
+			if idx < 0 || idx >= len(lines) {
+				return fmt.Errorf("%s: diagnostic line %d out of range", file, lastLine)
+			}
+			indent := lines[idx][:len(lines[idx])-len(strings.TrimLeft(lines[idx], " \t"))]
+			stub := indent + "//lint:ignore " + strings.Join(lineChecks, ",") + " " + stubReason
+			lines = append(lines[:idx], append([]string{stub}, lines[idx:]...)...)
+			total++
+			return nil
+		}
+		for _, d := range ds {
+			if d.Pos.Line != lastLine {
+				if err := flush(); err != nil {
+					return total, err
+				}
+				lastLine = d.Pos.Line
+				lineChecks = lineChecks[:0]
+			}
+			dup := false
+			for _, c := range lineChecks {
+				dup = dup || c == d.Check
+			}
+			if !dup {
+				lineChecks = append(lineChecks, d.Check)
+			}
+		}
+		if err := flush(); err != nil {
+			return total, err
+		}
+		if err := os.WriteFile(file, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField enforces the all-or-nothing rule of sync/atomic: once any code
+// path accesses a field through the atomic package, every access must.
+//
+// Two field populations are checked:
+//
+//  1. Address-taken atomics (the legacy style): a field whose address — or
+//     whose element's address, for slices/arrays — is passed to a
+//     sync/atomic function anywhere in the package. A plain (non-atomic)
+//     read or write of that field (or of its elements, in the element case)
+//     elsewhere is a diagnostic: it races the atomic accesses.
+//
+//  2. Typed atomics (atomic.Int64, atomic.Bool, atomic.Pointer[T], ...): the
+//     only legal uses of such a field are calling its methods and taking its
+//     address. Copying the value (assignment, argument passing, range) both
+//     races concurrent writers and detaches the copy's internal state.
+//
+// For address-taken slice fields the nuance matters: `len(r.slot)` reads the
+// immutable slice header, not an element, so whole-field reads stay legal
+// while plain element loads/stores (`r.slot[i] = nil`) are flagged.
+type AtomicField struct{}
+
+// NewAtomicField returns the atomicfield analyzer.
+func NewAtomicField() *AtomicField { return &AtomicField{} }
+
+// Name implements Analyzer.
+func (*AtomicField) Name() string { return "atomicfield" }
+
+// Doc implements Analyzer.
+func (*AtomicField) Doc() string {
+	return "fields accessed via sync/atomic must never be touched by a plain load/store"
+}
+
+// atomicMode distinguishes whole-field atomics from element atomics.
+type atomicMode int
+
+const (
+	fieldAtomic atomicMode = iota // &s.f passed to sync/atomic
+	elemAtomic                    // &s.f[i] passed to sync/atomic
+)
+
+// Run implements Analyzer.
+func (c *AtomicField) Run(p *Pass) {
+	addrTaken := map[*types.Var]atomicMode{}
+	var sanctioned posRanges // argument ranges inside sync/atomic calls
+
+	// Pass 1: find fields whose address feeds sync/atomic.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !c.isAtomicCall(p, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sanctioned = append(sanctioned, [2]int{int(un.Pos()), int(un.End())})
+				switch operand := un.X.(type) {
+				case *ast.SelectorExpr:
+					if v := fieldVar(p, operand); v != nil {
+						addrTaken[v] = fieldAtomic
+					}
+				case *ast.IndexExpr:
+					if sel, ok := operand.X.(*ast.SelectorExpr); ok {
+						if v := fieldVar(p, sel); v != nil {
+							if _, exists := addrTaken[v]; !exists {
+								addrTaken[v] = elemAtomic
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2a: plain accesses of address-taken fields.
+	if len(addrTaken) > 0 {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.SelectorExpr:
+					v := fieldVar(p, node)
+					if v == nil {
+						return true
+					}
+					mode, tracked := addrTaken[v]
+					if !tracked || mode != fieldAtomic || sanctioned.contains(node.Pos()) {
+						return true
+					}
+					p.Report(node.Sel.Pos(),
+						"field %s is accessed via sync/atomic elsewhere; this plain access races it",
+						node.Sel.Name)
+					return true
+				case *ast.IndexExpr:
+					sel, ok := node.X.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					v := fieldVar(p, sel)
+					if v == nil {
+						return true
+					}
+					mode, tracked := addrTaken[v]
+					if !tracked || mode != elemAtomic || sanctioned.contains(node.Pos()) {
+						return true
+					}
+					p.Report(node.Pos(),
+						"elements of field %s are accessed via sync/atomic elsewhere; this plain element access races them",
+						sel.Sel.Name)
+					return false // don't re-flag the inner selector
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2b: value copies of typed-atomic fields.
+	for _, f := range p.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			v := fieldVar(p, sel)
+			if v == nil || !isAtomicType(v.Type()) {
+				return true
+			}
+			switch parent := parents[sel].(type) {
+			case *ast.SelectorExpr:
+				// s.cnt.Load — method selection on the atomic value.
+				if parent.X == sel {
+					return true
+				}
+			case *ast.UnaryExpr:
+				if parent.Op.String() == "&" {
+					return true // address-of, e.g. handing a slot pointer around
+				}
+			}
+			p.Report(sel.Sel.Pos(),
+				"plain use of sync/atomic-typed field %s copies its value non-atomically; call its methods instead",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether call invokes a function of sync/atomic.
+func (c *AtomicField) isAtomicCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// fieldVar resolves a selector to the struct field it selects, or nil.
+func fieldVar(p *Pass, sel *ast.SelectorExpr) *types.Var {
+	selection := p.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := selection.Obj().(*types.Var)
+	return v
+}
+
+// isAtomicType reports whether t is a named type of package sync/atomic.
+func isAtomicType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// buildParents maps every node of the file to its syntactic parent.
+func buildParents(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

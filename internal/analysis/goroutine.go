@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Goroutine enforces goroutine hygiene in the runtime packages: every `go`
+// statement must be lexically paired with teardown machinery in the same
+// function — a sync.WaitGroup Wait, a close(...) of a done/stop channel, or
+// a channel receive — or the function must carry `//dashmm:detached reason`
+// explicitly declaring the goroutine fire-and-forget.
+//
+// The pairing is lexical, not a leak proof: the point is that whoever reads
+// the function sees either the shutdown path or an annotated, justified
+// absence of one. Goroutines that outlive their spawner silently are how the
+// runtime's earlier shutdown hangs happened.
+type Goroutine struct {
+	// Packages lists the import-path suffixes the checker applies to.
+	Packages []string
+}
+
+// NewGoroutine returns the goroutine-hygiene analyzer with the default
+// package list (the runtime layers that own goroutines).
+func NewGoroutine() *Goroutine {
+	return &Goroutine{Packages: []string{
+		"internal/amt",
+		"internal/core",
+		"internal/serve",
+	}}
+}
+
+// Name implements Analyzer.
+func (*Goroutine) Name() string { return "goroutine-hygiene" }
+
+// Doc implements Analyzer.
+func (*Goroutine) Doc() string {
+	return "go statements need lexical teardown (Wait/close/receive) or //dashmm:detached"
+}
+
+// applies reports whether the pass's package is on the checker's list.
+func (c *Goroutine) applies(p *Pass) bool {
+	for _, suffix := range c.Packages {
+		if p.Path == suffix || strings.HasSuffix(p.Path, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run implements Analyzer.
+func (c *Goroutine) Run(p *Pass) {
+	if !c.applies(p) {
+		return
+	}
+	walkFuncs(p, func(_ *ast.File, fn *ast.FuncDecl) {
+		var goStmts []*ast.GoStmt
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				goStmts = append(goStmts, g)
+			}
+			return true
+		})
+		if len(goStmts) == 0 {
+			return
+		}
+		if rest, ok := funcHasDirective(fn, "dashmm:detached"); ok {
+			if strings.TrimSpace(rest) == "" {
+				p.Report(fn.Pos(), "//dashmm:detached needs a reason: //dashmm:detached <why no teardown>")
+			}
+			return
+		}
+		if hasTeardown(fn.Body) {
+			return
+		}
+		for _, g := range goStmts {
+			p.Report(g.Pos(),
+				"go statement in %s has no lexical teardown (WaitGroup Wait, close, or channel receive); add one or annotate the function //dashmm:detached reason",
+				funcName(fn))
+		}
+	})
+}
+
+// hasTeardown reports whether the body lexically contains any of the
+// accepted teardown shapes: a .Wait() call, a close(...) call, or a channel
+// receive (<-ch as an expression or in a select).
+func hasTeardown(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			switch fun := node.Fun.(type) {
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Wait" {
+					found = true
+				}
+			case *ast.Ident:
+				if fun.Name == "close" {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if node.Op.String() == "<-" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

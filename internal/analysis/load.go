@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Loader parses and type-checks packages without golang.org/x/tools: the
+// target package is parsed from source, and every import is satisfied from
+// the compiler's export data, located by shelling out to `go list -export`
+// (the toolchain writes it to the build cache). This keeps the framework
+// stdlib-only while still giving checkers full go/types information.
+type Loader struct {
+	Fset *token.FileSet
+	// Dir is the directory `go list` runs in (any directory inside the
+	// module).
+	Dir string
+
+	exports map[string]string // import path -> export file
+	imp     types.ImporterFrom
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	l := &Loader{Fset: token.NewFileSet(), Dir: dir, exports: map[string]string{}}
+	l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup).(types.ImporterFrom)
+	return l
+}
+
+// lookup feeds export data to the gc importer.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok || file == "" {
+		// Lazy fallback for paths not pre-seeded (shouldn't happen when
+		// ensureExports ran over the package's deps, but keeps LoadDir
+		// usable with hand-written fixture imports).
+		if err := l.ensureExports([]string{path}); err != nil {
+			return nil, err
+		}
+		file = l.exports[path]
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// goList runs the go tool in l.Dir and returns stdout.
+func (l *Loader) goList(args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	return out.Bytes(), nil
+}
+
+// ensureExports populates l.exports for the given packages and all their
+// dependencies (compiling them if the build cache is cold).
+func (l *Loader) ensureExports(pkgs []string) error {
+	args := append([]string{"list", "-deps", "-export", "-f", "{{.ImportPath}}\t{{.Export}}"}, pkgs...)
+	out, err := l.goList(args...)
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		path, file, ok := strings.Cut(line, "\t")
+		if !ok {
+			continue
+		}
+		if _, seen := l.exports[path]; !seen || file != "" {
+			l.exports[path] = file
+		}
+	}
+	return nil
+}
+
+// listedPkg is the subset of `go list -json` this loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+}
+
+// LoadPatterns loads every package matching the go package patterns (e.g.
+// "./...") into type-checked passes. Test files are excluded: the invariants
+// the checkers enforce live in production code, and linting external test
+// packages would double-load every package.
+func (l *Loader) LoadPatterns(patterns ...string) ([]*Pass, error) {
+	out, err := l.goList(append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles,Imports"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var targets []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	importSet := map[string]bool{}
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -json: %v", err)
+		}
+		targets = append(targets, p)
+		for _, im := range p.Imports {
+			importSet[im] = true
+		}
+	}
+	var imports []string
+	for im := range importSet {
+		if im != "unsafe" && im != "C" {
+			imports = append(imports, im)
+		}
+	}
+	if len(imports) > 0 {
+		if err := l.ensureExports(imports); err != nil {
+			return nil, err
+		}
+	}
+	var passes []*Pass
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []string
+		for _, f := range t.GoFiles {
+			files = append(files, filepath.Join(t.Dir, f))
+		}
+		pass, err := l.check(t.ImportPath, t.Name, files)
+		if err != nil {
+			return nil, err
+		}
+		passes = append(passes, pass)
+	}
+	return passes, nil
+}
+
+// LoadDir loads a single directory of Go files as one package under the
+// given import path. Used by the fixture tests, whose packages live under
+// testdata/ where the go tool does not look.
+func (l *Loader) LoadDir(dir, importPath string) (*Pass, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, e.Name()))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return l.check(importPath, "", files)
+}
+
+// check parses and type-checks one package.
+func (l *Loader) check(importPath, name string, files []string) (*Pass, error) {
+	var asts []*ast.File
+	importSet := map[string]bool{}
+	for _, f := range files {
+		af, err := parser.ParseFile(l.Fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+		for _, im := range af.Imports {
+			p := strings.Trim(im.Path.Value, `"`)
+			if p != "unsafe" && p != "C" {
+				importSet[p] = true
+			}
+		}
+	}
+	var missing []string
+	for im := range importSet {
+		if l.exports[im] == "" {
+			missing = append(missing, im)
+		}
+	}
+	if len(missing) > 0 {
+		if err := l.ensureExports(missing); err != nil {
+			return nil, err
+		}
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(importPath, l.Fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	_ = name
+	return &Pass{Fset: l.Fset, Files: asts, Pkg: pkg, Info: info, Path: importPath}, nil
+}
+
+// Import implements types.Importer (unused path; ImportFrom does the work).
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.Dir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom by delegating to the gc export
+// importer, special-casing unsafe.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return l.imp.ImportFrom(path, dir, mode)
+}

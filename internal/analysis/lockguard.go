@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockGuard enforces `// guarded by <mu>` field annotations: a field so
+// annotated may only be read or written inside a function that lexically
+// acquires that mutex (Lock/RLock/TryLock on a value of the mutex's holder
+// type) or that is annotated `//dashmm:locked <Type>.<mu> reason`, asserting
+// its caller holds the lock.
+//
+// Two annotation forms are accepted on a struct field:
+//
+//	f T // guarded by mu         the mutex is field <mu> of this struct
+//	f T // guarded by Type.mu    the mutex is field <mu> of package type Type
+//
+// The check is lexical and type-granular, not object-granular: locking any
+// value of the holder type satisfies it, and a Lock anywhere in the function
+// covers the whole body. That deliberately trades soundness for zero false
+// positives on the runtime's lock idioms (lock/unlock windows, deferred
+// unlocks, closures run under a callee's critical section). Composite
+// literals are exempt: initialization before publication needs no lock.
+type LockGuard struct{}
+
+// NewLockGuard returns the lockguard analyzer.
+func NewLockGuard() *LockGuard { return &LockGuard{} }
+
+// Name implements Analyzer.
+func (*LockGuard) Name() string { return "lockguard" }
+
+// Doc implements Analyzer.
+func (*LockGuard) Doc() string {
+	return "fields annotated `guarded by <mu>` must only be accessed with the mutex held"
+}
+
+// guardSpec names the mutex protecting one guarded field.
+type guardSpec struct {
+	holder *types.TypeName // type owning the mutex field
+	mutex  string          // mutex field name on holder
+}
+
+func (g guardSpec) String() string { return g.holder.Name() + "." + g.mutex }
+
+// lockKey is one "this function holds that mutex" fact.
+type lockKey struct {
+	holder *types.TypeName
+	mutex  string
+}
+
+const guardedByMarker = "guarded by "
+
+// Run implements Analyzer.
+func (c *LockGuard) Run(p *Pass) {
+	guards := c.collectGuards(p)
+	if len(guards) == 0 {
+		return
+	}
+	walkFuncs(p, func(_ *ast.File, fn *ast.FuncDecl) {
+		held := c.heldLocks(p, fn)
+		inComposite := compositeRanges(fn.Body)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := p.Info.Selections[sel]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := selection.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			spec, guarded := guards[v]
+			if !guarded {
+				return true
+			}
+			if inComposite.contains(sel.Pos()) {
+				return true
+			}
+			if held[lockKey{spec.holder, spec.mutex}] {
+				return true
+			}
+			p.Report(sel.Sel.Pos(),
+				"field %s.%s is guarded by %s, but %s neither locks a %s's %s nor is annotated //dashmm:locked %s",
+				fieldOwnerName(v), v.Name(), spec, funcName(fn), spec.holder.Name(), spec.mutex, spec)
+			return true
+		})
+	})
+}
+
+// collectGuards parses the `guarded by` annotations of every struct field in
+// the package, reporting malformed or unresolvable specs.
+func (c *LockGuard) collectGuards(p *Pass) map[*types.Var]guardSpec {
+	guards := map[*types.Var]guardSpec{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, s := range gd.Specs {
+				ts, ok := s.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					specText, pos, found := fieldGuardAnnotation(field)
+					if !found {
+						continue
+					}
+					spec, err := c.resolveSpec(p, ts, specText)
+					if err != nil {
+						p.Report(pos, "bad `guarded by` annotation %q: %v", specText, err)
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := p.Info.Defs[name].(*types.Var); ok {
+							guards[v] = spec
+						}
+					}
+				}
+			}
+		}
+	}
+	return guards
+}
+
+// fieldGuardAnnotation extracts the spec following "guarded by " from a
+// field's doc or trailing comment.
+func fieldGuardAnnotation(field *ast.Field) (spec string, pos token.Pos, found bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		text := cg.Text()
+		i := strings.Index(text, guardedByMarker)
+		if i < 0 {
+			continue
+		}
+		rest := text[i+len(guardedByMarker):]
+		end := strings.IndexFunc(rest, func(r rune) bool {
+			return !(r == '.' || r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9')
+		})
+		if end >= 0 {
+			rest = rest[:end]
+		}
+		return strings.TrimSpace(rest), cg.Pos(), true
+	}
+	return "", token.NoPos, false
+}
+
+// resolveSpec turns "mu" or "Type.mu" into a validated guardSpec relative to
+// the struct declared by ts.
+func (c *LockGuard) resolveSpec(p *Pass, ts *ast.TypeSpec, spec string) (guardSpec, error) {
+	if spec == "" {
+		return guardSpec{}, fmt.Errorf("empty mutex name")
+	}
+	typeName, mutex := ts.Name.Name, spec
+	if dot := strings.IndexByte(spec, '.'); dot >= 0 {
+		typeName, mutex = spec[:dot], spec[dot+1:]
+		if typeName == "" || mutex == "" || strings.Contains(mutex, ".") {
+			return guardSpec{}, fmt.Errorf("want \"mu\" or \"Type.mu\"")
+		}
+	}
+	named, st := lookupNamed(p.Pkg, typeName)
+	if named == nil || st == nil {
+		return guardSpec{}, fmt.Errorf("no struct type %q in package %s", typeName, p.Pkg.Path())
+	}
+	mf := structFieldByName(st, mutex)
+	if mf == nil {
+		return guardSpec{}, fmt.Errorf("type %s has no field %q", typeName, mutex)
+	}
+	if !isMutexType(mf.Type()) {
+		return guardSpec{}, fmt.Errorf("field %s.%s is not a sync.Mutex/RWMutex", typeName, mutex)
+	}
+	return guardSpec{holder: named.Obj(), mutex: mutex}, nil
+}
+
+// heldLocks collects the (holder type, mutex field) pairs this function
+// acquires lexically, plus any //dashmm:locked annotations.
+func (c *LockGuard) heldLocks(p *Pass, fn *ast.FuncDecl) map[lockKey]bool {
+	held := map[lockKey]bool{}
+	if rest, ok := funcHasDirective(fn, "dashmm:locked"); ok {
+		// Annotation form: //dashmm:locked Type.mu reason...
+		spec, _, _ := strings.Cut(rest, " ")
+		if typeName, mutex, ok := strings.Cut(spec, "."); ok {
+			if named, _ := lookupNamed(p.Pkg, typeName); named != nil {
+				held[lockKey{named.Obj(), mutex}] = true
+			} else {
+				p.Report(fn.Pos(), "//dashmm:locked names unknown type %q", typeName)
+			}
+		} else {
+			p.Report(fn.Pos(), "malformed //dashmm:locked %q: want \"Type.mu reason\"", rest)
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch method.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+		default:
+			return true
+		}
+		mutexSel, ok := method.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		holderType, ok := p.Info.Types[mutexSel.X]
+		if !ok {
+			return true
+		}
+		named := namedOf(holderType.Type)
+		if named == nil {
+			return true
+		}
+		held[lockKey{named.Obj(), mutexSel.Sel.Name}] = true
+		return true
+	})
+	return held
+}
+
+// ---- helpers ----
+
+// posRanges is a set of [start, end] source intervals.
+type posRanges [][2]int
+
+func (rs posRanges) contains(p token.Pos) bool {
+	for _, r := range rs {
+		if int(p) >= r[0] && int(p) <= r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// compositeRanges returns the source ranges of every composite literal in
+// the body: keyed initialization before publication is exempt from guards.
+func compositeRanges(body *ast.BlockStmt) posRanges {
+	var rs posRanges
+	ast.Inspect(body, func(n ast.Node) bool {
+		if cl, ok := n.(*ast.CompositeLit); ok {
+			rs = append(rs, [2]int{int(cl.Pos()), int(cl.End())})
+		}
+		return true
+	})
+	return rs
+}
+
+// fieldOwnerName names the struct type a field belongs to, best-effort.
+func fieldOwnerName(v *types.Var) string {
+	// The field's parent scope doesn't name the struct; walk the package
+	// scope for a named struct containing exactly this object.
+	if pkg := v.Pkg(); pkg != nil {
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == v {
+					return tn.Name()
+				}
+			}
+		}
+	}
+	return "?"
+}
+
+// funcName renders a function's name with its receiver type.
+func funcName(fn *ast.FuncDecl) string {
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		if t := recvTypeString(fn.Recv.List[0].Type); t != "" {
+			return t + "." + fn.Name.Name
+		}
+	}
+	return fn.Name.Name
+}
+
+func recvTypeString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeString(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeString(t.X)
+	}
+	return ""
+}

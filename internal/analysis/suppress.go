@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// suppressions records which checks are silenced on which lines of which
+// files. A //lint:ignore comment silences the named checks on its own line
+// and on the line directly below it (so it can trail the flagged statement
+// or sit on its own line above it).
+type suppressions struct {
+	// byFileLine maps filename -> line -> set of check names.
+	byFileLine map[string]map[int]map[string]bool
+}
+
+func (s *suppressions) suppressed(check string, pos token.Position) bool {
+	lines := s.byFileLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range [2]int{pos.Line, pos.Line - 1} {
+		if checks := lines[ln]; checks != nil && (checks[check] || checks["*"]) {
+			return true
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "lint:ignore"
+
+// collectSuppressions scans every comment of the pass for //lint:ignore
+// directives. Malformed directives (no check list, or no reason) are
+// reported as diagnostics of the pseudo-check "lint" so a suppression can
+// never silently rot into a no-op.
+func collectSuppressions(p *Pass) (*suppressions, []Diagnostic) {
+	s := &suppressions{byFileLine: map[string]map[int]map[string]bool{}}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Strict directive form only: //lint:ignore with no space
+				// after the slashes.
+				text, found := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+				if !found || (text != "" && !strings.HasPrefix(text, " ")) {
+					continue
+				}
+				rest := strings.TrimSpace(text)
+				checksField, reason, _ := strings.Cut(rest, " ")
+				pos := p.Fset.Position(c.Pos())
+				if checksField == "" || strings.TrimSpace(reason) == "" {
+					diags = append(diags, Diagnostic{
+						Check: "lint",
+						Pos:   pos,
+						Message: "malformed //lint:ignore: want \"//lint:ignore <check>[,<check>] reason\" " +
+							"(the reason is mandatory)",
+					})
+					continue
+				}
+				lines := s.byFileLine[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					s.byFileLine[pos.Filename] = lines
+				}
+				checks := lines[pos.Line]
+				if checks == nil {
+					checks = map[string]bool{}
+					lines[pos.Line] = checks
+				}
+				for _, name := range strings.Split(checksField, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						checks[name] = true
+					}
+				}
+			}
+		}
+	}
+	return s, diags
+}

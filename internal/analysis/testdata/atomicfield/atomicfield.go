@@ -1,0 +1,66 @@
+// Package atomicfield is a fixture for the atomicfield analyzer.
+package atomicfield
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64 // accessed via atomic.AddInt64/LoadInt64
+	typed atomic.Int64
+	slots []int64 // elements accessed via sync/atomic
+	plain int64   // never touched atomically
+}
+
+// inc establishes hits as an address-taken atomic: sanctioned access.
+func (s *stats) inc() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// readOK loads atomically: a true negative.
+func (s *stats) readOK() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// readBad does a plain read of the atomically-written counter: true
+// positive.
+func (s *stats) readBad() int64 {
+	return s.hits // want "races"
+}
+
+// readSuppressed is the same plain read with a justified suppression.
+func (s *stats) readSuppressed() int64 {
+	//lint:ignore atomicfield report path runs after all writers joined
+	return s.hits
+}
+
+// plainOK reads a field that is never accessed atomically: true negative.
+func (s *stats) plainOK() int64 {
+	s.plain++
+	return s.plain
+}
+
+// typedOK calls a method on the typed atomic: true negative.
+func (s *stats) typedOK() int64 {
+	return s.typed.Load()
+}
+
+// typedBad copies the typed atomic by value: true positive.
+func (s *stats) typedBad() int64 {
+	v := s.typed // want "copies its value"
+	_ = v
+	return 0
+}
+
+// elemAtomic establishes slots as an element-atomic field.
+func (s *stats) elemAtomic(i int) int64 {
+	return atomic.LoadInt64(&s.slots[i])
+}
+
+// elemBad stores a slot element plainly: true positive.
+func (s *stats) elemBad(i int) {
+	s.slots[i] = 0 // want "element"
+}
+
+// lenOK reads the immutable slice header, not an element: true negative.
+func (s *stats) lenOK() int {
+	return len(s.slots)
+}

@@ -1,0 +1,71 @@
+// Package determinism is a fixture for the determinism analyzer; the test
+// configures the checker with this package's import path.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// seededOK builds an explicitly seeded generator: true negative.
+func seededOK() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// nowBad reads the wall clock: true positive.
+func nowBad() int64 {
+	return time.Now().UnixNano() // want "wall clock"
+}
+
+// sinceBad measures wall time: true positive.
+func sinceBad(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall clock"
+}
+
+// globalRandBad draws from the process-global source: true positive.
+func globalRandBad() float64 {
+	return rand.Float64() // want "process-global"
+}
+
+// nowSuppressed is the wall-clock read with a justified suppression.
+func nowSuppressed() time.Time {
+	//lint:ignore determinism benchmark scaffolding, excluded from results
+	return time.Now()
+}
+
+// mapRangeBad builds ordered output from randomized map iteration: true
+// positive.
+func mapRangeBad(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want "map iteration"
+		out = append(out, v)
+	}
+	return out
+}
+
+// sortedKeysOK ranges the map via sorted keys — the range over the key
+// slice is fine; only the collection loop touches the map, suppressed with
+// an explanation of why it commutes.
+func sortedKeysOK(m map[int]float64) []float64 {
+	keys := make([]int, 0, len(m))
+	//lint:ignore determinism key collection commutes; output is ordered by the sort below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// sliceRangeOK ranges a slice: true negative.
+func sliceRangeOK(s []float64) float64 {
+	var t float64
+	for _, v := range s {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,58 @@
+// Package goroutine is a fixture for the goroutine-hygiene analyzer; the
+// test configures the checker with this package's import path.
+package goroutine
+
+import "sync"
+
+// waitOK pairs its goroutine with a WaitGroup: true negative.
+func waitOK() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// closeOK pairs its goroutine with a stop-channel close: true negative.
+func closeOK() {
+	stop := make(chan struct{})
+	go loop(stop)
+	close(stop)
+}
+
+// recvOK blocks on the goroutine's completion signal: true negative.
+func recvOK() {
+	done := make(chan struct{})
+	go func() {
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+func loop(stop <-chan struct{}) {}
+
+// fireAndForgetBad spawns with no teardown and no annotation: true
+// positive.
+func fireAndForgetBad(ch chan<- int) {
+	go func() { ch <- 1 }() // want "no lexical teardown"
+}
+
+// detachedOK declares the goroutine fire-and-forget with a reason: true
+// negative.
+//
+//dashmm:detached metrics flusher lives for the process lifetime.
+func detachedOK(ch chan<- int) {
+	go func() { ch <- 1 }()
+}
+
+//dashmm:detached
+func detachedMissingReason(ch chan<- int) { // want "needs a reason"
+	go func() { ch <- 1 }()
+}
+
+// suppressedGo silences one spawn site with a justification.
+func suppressedGo(ch chan<- int) {
+	//lint:ignore goroutine-hygiene teardown lives in the caller, audited in review
+	go func() { ch <- 1 }()
+}

@@ -1,0 +1,65 @@
+// Package lockguard is a fixture for the lockguard analyzer: true
+// positives are marked with want comments carrying a message substring,
+// true negatives carry no marker, and one diagnostic is silenced with
+// //lint:ignore.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type registry struct {
+	mu    sync.RWMutex
+	names []string // guarded by mu
+}
+
+// inc holds the mutex: a true negative.
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// incDeferred uses the defer idiom: still a lexical lock, true negative.
+func (c *counter) incDeferred() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// readRLock takes the read lock on an RWMutex: accepted as holding.
+func (r *registry) readRLock() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.names)
+}
+
+// bad reads the guarded field without any lock: a true positive.
+func (c *counter) bad() int {
+	return c.n // want "guarded by"
+}
+
+// suppressed reads without the lock but carries a justified suppression.
+func (c *counter) suppressed() int {
+	//lint:ignore lockguard monitoring read tolerates a stale count
+	return c.n
+}
+
+// lockedByCaller relies on its caller's critical section, declared with the
+// dashmm:locked annotation: a true negative.
+//
+//dashmm:locked counter.mu — fixture precondition: caller holds the lock.
+func (c *counter) lockedByCaller() int { return c.n }
+
+// newCounter initializes the guarded field inside a composite literal,
+// which is exempt (initialization before publication).
+func newCounter() *counter {
+	return &counter{n: 1}
+}
+
+type badspec struct {
+	x int // guarded by nosuch — want "has no field"
+}

@@ -1,0 +1,90 @@
+// Package noalloc is a fixture for the hotpath-noalloc analyzer.
+package noalloc
+
+import "fmt"
+
+type buf struct {
+	items []int
+}
+
+// addOK appends in place: amortized zero allocation, true negative.
+//
+//dashmm:noalloc
+func (b *buf) addOK(v int) {
+	b.items = append(b.items, v)
+}
+
+// resetOK uses the buffer-reuse idiom: true negative.
+//
+//dashmm:noalloc
+func (b *buf) resetOK(v int) {
+	b.items = append(b.items[:0], v)
+}
+
+// structValOK builds a plain struct value, which stays on the stack: true
+// negative.
+//
+//dashmm:noalloc
+func structValOK() int {
+	p := struct{ x, y int }{1, 2}
+	return p.x + p.y
+}
+
+// makeBad allocates with make: true positive.
+//
+//dashmm:noalloc
+func (b *buf) makeBad() {
+	b.items = make([]int, 4) // want "make allocates"
+}
+
+// litBad allocates a slice literal: true positive.
+//
+//dashmm:noalloc
+func (b *buf) litBad() {
+	b.items = []int{1} // want "slice literal"
+}
+
+// escapeBad takes the address of a composite literal: true positive.
+//
+//dashmm:noalloc
+func escapeBad() *buf {
+	return &buf{} // want "escapes"
+}
+
+// fmtBad formats on the hot path: true positive.
+//
+//dashmm:noalloc
+func fmtBad(v int) {
+	fmt.Println(v) // want "fmt"
+}
+
+// freshAppendBad grows a fresh backing array: true positive.
+//
+//dashmm:noalloc
+func freshAppendBad(dst, src []int) []int {
+	dst = append(src, 1) // want "fresh backing array"
+	return dst
+}
+
+// closureBad allocates a capturing closure: true positive.
+//
+//dashmm:noalloc
+func closureBad(n int) func() int {
+	return func() int { return n } // want "closure captures"
+}
+
+// suppressedMake is a cold branch inside an annotated function, silenced
+// with a justification.
+//
+//dashmm:noalloc
+func suppressedMake(init bool) {
+	if init {
+		//lint:ignore hotpath-noalloc one-time warmup branch, off the steady state
+		_ = make([]int, 4)
+	}
+}
+
+// coldPath is unannotated: allocations are fine, true negative.
+func coldPath() []int {
+	return make([]int, 8)
+}

@@ -1,0 +1,31 @@
+// Package suppress is a fixture for malformed //lint:ignore directives:
+// each one below is missing its check list or its mandatory reason and must
+// surface as a diagnostic of the pseudo-check "lint". The test asserts the
+// exact lines directly (a want marker cannot share the directive's line).
+package suppress
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// missingReason has a check list but no justification.
+func missingReason(g *guarded) int {
+	//lint:ignore lockguard
+	return g.n
+}
+
+// missingEverything is the bare directive.
+func missingEverything(g *guarded) int {
+	//lint:ignore
+	return g.n
+}
+
+// wellFormed is the control: a justified suppression that must NOT be
+// reported, and must silence the lockguard diagnostic below it.
+func wellFormed(g *guarded) int {
+	//lint:ignore lockguard fixture control: stale read is acceptable here
+	return g.n
+}
