@@ -73,15 +73,16 @@ type TransportStats struct {
 // pairKey identifies one directed (src, dst) parcel channel.
 type pairKey struct{ src, dst int32 }
 
-// sendEntry is the sender-side record of one unacked parcel.
+// sendEntry is the sender-side record of one unacked parcel. Every mutable
+// field is owned by the delivery engine's critical section.
 type sendEntry struct {
 	key      pairKey
 	seq      uint64
 	bytes    int
 	deadline time.Time
-	backoff  time.Duration
-	timer    *time.Timer
-	settled  bool
+	backoff  time.Duration // guarded by delivery.mu
+	timer    *time.Timer   // guarded by delivery.mu
+	settled  bool          // guarded by delivery.mu
 }
 
 // delivery is the per-runtime parcel delivery engine.
@@ -95,13 +96,13 @@ type delivery struct {
 	fastPath bool
 
 	mu      sync.Mutex
-	rng     *rand.Rand
-	nextSeq map[pairKey]uint64
-	unacked map[pairKey]map[uint64]*sendEntry
+	rng     *rand.Rand                        // guarded by mu
+	nextSeq map[pairKey]uint64                // guarded by mu
+	unacked map[pairKey]map[uint64]*sendEntry // guarded by mu
 	// seen is the receiver-side dedup filter. In-process it simply grows
 	// with the parcel count of one single-shot run; a long-lived transport
 	// would compact it with a cumulative-ack watermark.
-	seen map[pairKey]map[uint64]bool
+	seen map[pairKey]map[uint64]bool // guarded by mu
 
 	// dead marks ranks whose endpoints have been severed by a failure
 	// verdict. Allocated only on killable runtimes; sized from the config

@@ -98,6 +98,8 @@ func (d *wsDeque) init() {
 // push adds a task at the bottom. Owner only. Allocation-free except when
 // the ring must grow (and the ring never shrinks, so steady-state churn at
 // any live size the deque has already seen does not allocate).
+//
+//dashmm:noalloc
 func (d *wsDeque) push(t Task) {
 	b := d.bottom.Load()
 	r := d.buf.Load()
@@ -114,6 +116,8 @@ func (d *wsDeque) push(t Task) {
 }
 
 // pop removes the most recently pushed task. Owner only.
+//
+//dashmm:noalloc
 func (d *wsDeque) pop() (Task, bool) {
 	// Empty fast path with no stores: bottom is owner-written and top only
 	// advances, so bottom <= top means empty for good until the next push.
@@ -137,6 +141,7 @@ func (d *wsDeque) pop() (Task, bool) {
 		// have to observe top == b and then bottom > b, which the
 		// sequentially consistent protocol forbids), so the slot is
 		// exclusively ours — a plain clear is race-free.
+		//lint:ignore atomicfield Chase–Lev multi-element pop: thieves provably cannot reach this slot, plain clear is part of the published algorithm.
 		r.slot[b&r.mask] = nil
 		return task, true
 	}
@@ -154,6 +159,8 @@ func (d *wsDeque) pop() (Task, bool) {
 // steal removes the oldest task. Safe for any goroutine. A failed CAS
 // (lost race with the owner or another thief) reports false so the caller
 // can move on to the next victim rather than spin.
+//
+//dashmm:noalloc
 func (d *wsDeque) steal() (Task, bool) {
 	t := d.top.Load()
 	b := d.bottom.Load()
@@ -195,16 +202,18 @@ func (d *wsDeque) capacity() int {
 type inbox struct {
 	mu     sync.Mutex
 	n      atomic.Int64 // high + normal length, for lock-free empty checks
-	high   []Task
-	normal []Task
+	high   []Task       // guarded by mu
+	normal []Task       // guarded by mu
 	// closed marks the inbox of a crashed locality: add is rejected so a
 	// racing producer cannot strand a task (and its pending unit) in a
 	// queue no worker will ever drain again.
-	closed bool
+	closed bool // guarded by mu
 }
 
 // add enqueues a task; it reports false when the inbox has been closed by a
 // locality crash, in which case the caller still owns the task.
+//
+//dashmm:noalloc
 func (q *inbox) add(t Task, high bool) bool {
 	q.mu.Lock()
 	if q.closed {
@@ -243,6 +252,8 @@ func (q *inbox) close() int {
 // drain moves every queued task into the worker's own deques (high lane
 // first), swapping the inbox buffers with the worker's cleared spares.
 // Returns whether any task was moved.
+//
+//dashmm:noalloc
 func (q *inbox) drain(w *Worker) bool {
 	if q.n.Load() == 0 {
 		return false
@@ -271,6 +282,8 @@ func (q *inbox) drain(w *Worker) bool {
 // steal takes one task (preferring the high lane, from the tail — the
 // inbox carries no ordering promise) without blocking. Used by thieves
 // after every victim deque came up empty.
+//
+//dashmm:noalloc
 func (q *inbox) steal() (Task, bool) {
 	if q.n.Load() == 0 {
 		return nil, false

@@ -27,7 +27,7 @@ func (a GlobalAddr) String() string { return fmt.Sprintf("gas://%d/%d", a.Locali
 // gas is the per-runtime global address space state.
 type gas struct {
 	mu     sync.Mutex
-	blocks map[GlobalAddr][]byte
+	blocks map[GlobalAddr][]byte // guarded by mu
 	next   atomic.Uint32
 }
 

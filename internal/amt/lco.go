@@ -12,11 +12,11 @@ import "sync"
 // that "continuously reduce[s] input data into the stored expansion data".
 type LCO struct {
 	mu        sync.Mutex
-	needed    int
-	arrived   int
-	overflow  int
-	triggered bool
-	conts     []Task
+	needed    int    // guarded by mu
+	arrived   int    // guarded by mu
+	overflow  int    // guarded by mu
+	triggered bool   // guarded by mu
+	conts     []Task // guarded by mu
 	home      *Locality
 }
 
@@ -54,6 +54,8 @@ func (l *LCO) Register(t Task) {
 // delivery (or a buggy caller) unable to corrupt the reduced payload or
 // re-trigger the LCO: at-least-once input delivery yields exactly-once
 // effect.
+//
+//dashmm:noalloc
 func (l *LCO) Input(reduce func()) bool {
 	l.mu.Lock()
 	if l.arrived >= l.needed {
@@ -167,7 +169,7 @@ func (f *Future) Then(t func(w *Worker, v any)) {
 // III).
 type Reduction struct {
 	lco LCO
-	val float64
+	val float64 // guarded by LCO.mu
 	op  func(acc, in float64) float64
 }
 
@@ -178,6 +180,8 @@ func NewReduction(home *Locality, inputs int, init float64, op func(acc, in floa
 }
 
 // Input folds one value into the reduction.
+//
+//dashmm:locked LCO.mu — the fold closure runs inside LCO.Input's critical section, which is the lock guarding val.
 func (r *Reduction) Input(v float64) {
 	r.lco.Input(func() { r.val = r.op(r.val, v) })
 }

@@ -110,7 +110,7 @@ type FaultyTransport struct {
 	prof FaultProfile
 
 	mu  sync.Mutex
-	rng *rand.Rand
+	rng *rand.Rand // guarded by mu
 
 	dropped    atomic.Int64
 	duplicated atomic.Int64

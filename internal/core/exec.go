@@ -331,7 +331,7 @@ type executor struct {
 	// stallMu/stallErr carry the watchdog diagnosis when no recovery state
 	// exists (the rec-armed variant lives on recovery).
 	stallMu  sync.Mutex
-	stallErr error
+	stallErr error // guarded by stallMu
 }
 
 // isHigh reports whether a node's continuation carries the high priority
@@ -365,6 +365,7 @@ type remoteBatch struct {
 
 var remoteBatchPool = sync.Pool{New: func() any { return new(remoteBatch) }}
 
+//dashmm:noalloc
 func (b *remoteBatch) add(dest int32, e dag.Edge) {
 	for i, d := range b.dests {
 		if d == dest {
@@ -380,6 +381,8 @@ func (b *remoteBatch) add(dest int32, e dag.Edge) {
 
 // addIdx is the recovery-mode variant of add: it also records the edge's
 // global index so the receiver can mark the applied bit.
+//
+//dashmm:noalloc
 func (b *remoteBatch) addIdx(dest int32, e dag.Edge, gidx int32) {
 	for i, d := range b.dests {
 		if d == dest {
@@ -395,6 +398,7 @@ func (b *remoteBatch) addIdx(dest int32, e dag.Edge, gidx int32) {
 	b.lists = append(b.lists, pe)
 }
 
+//dashmm:noalloc
 func (b *remoteBatch) release() {
 	for i := range b.lists {
 		b.lists[i] = nil // ownership moved to the parcel actions
@@ -450,6 +454,8 @@ func (ex *executor) runNode(w *amt.Worker, id int32) {
 // deliver applies one edge into its target LCO: the transform plus
 // reduction runs under the target's lock; the final input triggers the
 // target's continuation.
+//
+//dashmm:noalloc
 func (ex *executor) deliver(w *amt.Worker, from *dag.Node, e dag.Edge) {
 	var t0 int64
 	if ex.tracer.Enabled() {

@@ -57,7 +57,7 @@ type Plan struct {
 	// NewEvaluation / NewParallelEvaluation. Plan.Reset re-arms them all so
 	// a cached plan is re-executable without being rebuilt.
 	ctxMu sync.Mutex
-	ctxs  []resettable
+	ctxs  []resettable // guarded by ctxMu
 }
 
 // resettable is an evaluation context that can be re-armed for a fresh run.

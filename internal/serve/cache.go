@@ -27,7 +27,7 @@ type planEntry struct {
 	mu    sync.Mutex          // serializes build-shape + evaluate on this plan
 	evals map[string]*evalCtx // "LxW" -> context; guarded by mu
 
-	lastUsed int64 // cache clock tick; guarded by the cache mutex
+	lastUsed int64 // cache clock tick; guarded by planCache.mu
 }
 
 // evalCtx is a pooled evaluation context for one execution shape: the
@@ -43,8 +43,8 @@ type evalCtx struct {
 type planCache struct {
 	mu      sync.Mutex
 	max     int
-	clock   int64
-	entries map[string]*planEntry
+	clock   int64                 // guarded by mu
+	entries map[string]*planEntry // guarded by mu
 }
 
 func newPlanCache(max int) *planCache {
@@ -110,6 +110,8 @@ func (e *planEntry) ensureBuilt(r *Request) error {
 
 // shape returns (building if needed) the pooled evaluation context for the
 // request's execution shape. Caller must hold e.mu.
+//
+//dashmm:locked planEntry.mu — documented precondition: handleEvaluate calls shape inside the entry's critical section.
 func (e *planEntry) shape(r *Request) (*evalCtx, error) {
 	key := fmt.Sprintf("%dx%d", r.Localities, r.Workers)
 	if ctx := e.evals[key]; ctx != nil {

@@ -86,7 +86,7 @@ type Server struct {
 	start   time.Time
 
 	callMu sync.Mutex
-	calls  map[string]*call
+	calls  map[string]*call // guarded by callMu
 
 	mux *http.ServeMux
 }

@@ -83,10 +83,13 @@ type Event struct {
 // separate mutex-guarded buffer so they never race a live worker's
 // lock-free appends. Snapshot merges everything.
 type Tracer struct {
-	mu      sync.Mutex
-	buffers [][]Event
-	virtual []Event
-	epoch   time.Time
+	mu sync.Mutex
+	// buffers is sliced per worker: buffers[w] is owned by worker w while it
+	// runs (see Record), and the whole slice is guarded by mu whenever any
+	// cross-worker reader (Snapshot, Reset) touches it.
+	buffers [][]Event // guarded by mu
+	virtual []Event   // guarded by mu
+	epoch   time.Time // guarded by mu
 	enabled bool
 }
 
@@ -112,6 +115,8 @@ func (t *Tracer) SetEnabled(on bool) {
 }
 
 // Now returns the tracer-relative timestamp in nanoseconds.
+//
+//lint:ignore lockguard epoch is immutable while workers run; Reset rewrites it only between evaluations.
 func (t *Tracer) Now() int64 { return int64(time.Since(t.epoch)) }
 
 // Record appends an event to worker w's buffer. It must be called only from
@@ -120,6 +125,7 @@ func (t *Tracer) Record(w int, ev Event) {
 	if t == nil || !t.enabled {
 		return
 	}
+	//lint:ignore lockguard per-worker buffer: only worker w appends to buffers[w], and Snapshot/Reset run only between evaluations.
 	t.buffers[w] = append(t.buffers[w], ev)
 }
 
