@@ -94,9 +94,9 @@ type recovery struct {
 	// mu serializes failure verdicts (one coordinator at a time) and guards
 	// the plain-slice bookkeeping below it.
 	mu          sync.Mutex
-	deadRanks   []bool
-	lostPayload []bool // node had un-recomputed state on a rank that died
-	fatalErr    error  // set when recovery is impossible (no survivors)
+	deadRanks   []bool // guarded by mu
+	lostPayload []bool // guarded by mu; node had un-recomputed state on a rank that died
+	fatalErr    error  // guarded by mu; set when recovery is impossible (no survivors)
 
 	// epoch increments per recovery; rebuiltAt[id] is the epoch at which a
 	// node was last reset. A delivery or trigger carrying an older epoch
@@ -145,7 +145,7 @@ type recovery struct {
 	recoveryWall  atomic.Int64 // ns
 
 	stallMu  sync.Mutex
-	stallErr error
+	stallErr error // guarded by stallMu
 }
 
 // newRecovery builds the per-context recovery state (graph-shaped arrays,
@@ -188,7 +188,11 @@ func newRecovery(ex *executor) (*recovery, error) {
 // context.
 func (rec *recovery) resetRun(localities, workers int) {
 	g := rec.ex.g
+	rec.mu.Lock()
 	rec.deadRanks = make([]bool, localities)
+	rec.lostPayload = make([]bool, len(g.Nodes))
+	rec.fatalErr = nil
+	rec.mu.Unlock()
 	rec.crashed.Store(false)
 	if tw := localities * workers; len(rec.inflight) != tw {
 		rec.inflight = make([]inflightSlot, tw)
@@ -197,8 +201,6 @@ func (rec *recovery) resetRun(localities, workers int) {
 			rec.inflight[i].n.Store(0)
 		}
 	}
-	rec.lostPayload = make([]bool, len(g.Nodes))
-	rec.fatalErr = nil
 	rec.epoch.Store(0)
 	for i := range rec.rebuiltAt {
 		rec.rebuiltAt[i].Store(0)
@@ -589,6 +591,8 @@ func (ex *executor) runNodeRecov(w *amt.Worker, id int32) {
 // reset. A delivery whose source was rebuilt after the carried epoch is
 // stale — the payload it was computed from no longer exists — and is
 // dropped; the rebuilt source re-sends.
+//
+//dashmm:noalloc
 func (ex *executor) deliverRecov(w *amt.Worker, from *dag.Node, gidx int32, e dag.Edge, ep int64) {
 	rec := ex.rec
 	if !rec.crashed.Load() {
@@ -679,6 +683,8 @@ func (ex *executor) deliverRecov(w *amt.Worker, from *dag.Node, gidx int32, e da
 // overlapping this call), so the single target lock of the crash-free path
 // suffices. Only the applied bit is recorded on top — the orphaned-closure
 // computation and replay dedupe of a later crash depend on it.
+//
+//dashmm:noalloc
 func (ex *executor) deliverRecovFast(w *amt.Worker, from *dag.Node, gidx int32, e dag.Edge) {
 	rec := ex.rec
 	var t0 int64
