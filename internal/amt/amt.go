@@ -234,6 +234,8 @@ func (w *Worker) steal() (Task, bool) {
 // from code running on this worker (i.e. inside one of its tasks): the
 // lock-free deques have a single owner. Work arriving from outside any
 // worker goes through Locality.Spawn.
+//
+//dashmm:noalloc
 func (w *Worker) Spawn(t Task) {
 	w.loc.rt.pending.Add(1)
 	w.normal.push(t)
@@ -241,6 +243,8 @@ func (w *Worker) Spawn(t Task) {
 
 // SpawnHigh schedules a priority task: it runs before any normal task of
 // its worker and is preferred by thieves. Owner-only, like Spawn.
+//
+//dashmm:noalloc
 func (w *Worker) SpawnHigh(t Task) {
 	w.loc.rt.pending.Add(1)
 	w.high.push(t)
@@ -257,6 +261,7 @@ func (l *Locality) Spawn(t Task) { l.spawn(t, false) }
 // SpawnHigh is the priority variant of Spawn.
 func (l *Locality) SpawnHigh(t Task) { l.spawn(t, true) }
 
+//dashmm:noalloc
 func (l *Locality) spawn(t Task, high bool) {
 	rt := l.rt
 	if rt.killable && l.dead.Load() {
@@ -284,6 +289,8 @@ func (l *Locality) spawn(t Task, high bool) {
 // sends travel the configured Transport; over an unreliable wire the
 // delivery layer guarantees the action is spawned at most once (exactly
 // once unless the delivery deadline is exceeded).
+//
+//dashmm:noalloc
 func (w *Worker) SendParcel(dest int, bytes int, action Task) {
 	rt := w.loc.rt
 	if dest == w.loc.Rank {
@@ -300,10 +307,19 @@ func (w *Worker) SendParcel(dest int, bytes int, action Task) {
 }
 
 // finish marks one pending unit complete.
+//
+//dashmm:noalloc
 func (rt *Runtime) finish() {
 	if rt.pending.Add(-1) == 0 {
-		rt.doneOnce.Do(func() { close(rt.done) })
+		rt.signalDone()
 	}
+}
+
+// signalDone closes the completion channel exactly once. Kept out of finish
+// so the once-closure is allocated here, on the single terminal call, rather
+// than on every task completion (finish is per-task hot path).
+func (rt *Runtime) signalDone() {
+	rt.doneOnce.Do(func() { close(rt.done) })
 }
 
 // Run seeds the runtime by calling setup on locality 0 (outside any worker)
@@ -419,7 +435,7 @@ func (rt *Runtime) Reset() error {
 // exit, leftovers are drained, and the caller reports its diagnosis instead
 // of hanging forever.
 func (rt *Runtime) Abort() {
-	rt.doneOnce.Do(func() { close(rt.done) })
+	rt.signalDone()
 }
 
 // sweepLeftovers runs after every worker goroutine has exited (single
@@ -521,6 +537,7 @@ func (w *Worker) drainDead() {
 	}
 }
 
+//dashmm:noalloc
 func (w *Worker) execute(t Task) {
 	rt := w.loc.rt
 	rt.tasksRun.Add(1)
