@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-serve serve-smoke chaos chaos-short chaos-crash ci
+.PHONY: build test race vet lint fmt-check bench bench-serve serve-smoke chaos chaos-short chaos-crash ci
 
 build:
 	$(GO) build ./...
@@ -11,14 +11,25 @@ build:
 test:
 	$(GO) test ./...
 
-# The scheduler and executor are the concurrency-critical packages; run
-# them under the race detector (the full tree under -race is slow on small
-# machines and adds nothing — the remaining packages are sequential).
+# The scheduler, executor, server, distributed driver and tracer are the
+# concurrency-touching packages; run them under the race detector (the
+# remaining packages are sequential, and the full tree under -race is slow
+# on small machines without adding coverage).
 race:
-	$(GO) test -race -timeout 20m ./internal/amt ./internal/core ./internal/serve
+	$(GO) test -race -timeout 20m ./internal/amt ./internal/core ./internal/serve ./internal/dist ./internal/trace
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific concurrency & determinism checkers (see DESIGN.md,
+# "Invariant catalog"). Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/dashmm-lint ./...
+
+# Fail if any file needs gofmt; prints the offending files.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Hot-path benchmark suite (deque, M2L cache, end-to-end evaluation);
 # writes BENCH_hotpath.json next to the raw output.
@@ -54,4 +65,4 @@ chaos-short:
 chaos-crash:
 	$(GO) test ./internal/amt -run TestChaosCrash -v -count=1 -timeout 15m
 
-ci: build vet test race serve-smoke chaos-short chaos-crash
+ci: build vet fmt-check lint test race serve-smoke chaos-short chaos-crash

@@ -14,6 +14,25 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# run_bench go-test-args...: run `go test` echoing its output and appending
+# it to $raw, failing the whole script when go test fails. The previous
+# `go test ... | tee` form swallowed failures — a pipeline's exit status is
+# the last command's (tee's), so a compile error or benchmark panic still
+# produced a BENCH_*.json with partial (or no) data. POSIX sh has no
+# pipefail, so capture to a file and test the status explicitly.
+run_bench() {
+    _out=$(mktemp)
+    if ! go test "$@" >"$_out" 2>&1; then
+        cat "$_out" >&2
+        rm -f "$_out"
+        echo "bench.sh: 'go test $*' failed; not writing benchmark JSON" >&2
+        exit 1
+    fi
+    cat "$_out"
+    cat "$_out" >>"$raw"
+    rm -f "$_out"
+}
+
 # Serving throughput: cold requests (fresh plan + operators + runtime per
 # request) against the warm steady state (plan cache + pooled runtime).
 # The printed speedup is the number EXPERIMENTS.md quotes.
@@ -21,9 +40,9 @@ if [ "${1:-}" = "serve" ]; then
     shift
     raw=$(mktemp)
     trap 'rm -f "$raw"' EXIT
-    go test ./internal/serve -run '^$' \
+    run_bench ./internal/serve -run '^$' \
         -bench 'BenchmarkServe(Cold|Warm)' \
-        -benchtime 3x -timeout 20m "$@" | tee "$raw"
+        -benchtime 3x -timeout 20m "$@"
     awk '
     BEGIN { print "["; first = 1 }
     /^Benchmark/ {
@@ -69,15 +88,15 @@ fi
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test ./internal/amt -run '^$' \
+run_bench ./internal/amt -run '^$' \
     -bench 'BenchmarkDequePushPop|BenchmarkStealContention' \
-    -benchmem "$@" | tee "$raw"
-go test ./internal/kernel -run '^$' \
+    -benchmem "$@"
+run_bench ./internal/kernel -run '^$' \
     -bench 'BenchmarkM2LCachedVsProjected' \
-    -benchmem "$@" | tee -a "$raw"
-go test . -run '^$' \
+    -benchmem "$@"
+run_bench . -run '^$' \
     -bench 'BenchmarkEvaluateHotPath' \
-    -benchtime 3x "$@" | tee -a "$raw"
+    -benchtime 3x "$@"
 
 # Convert `go test -bench` lines into a JSON array: one object per
 # benchmark with ns/op, allocations, and any custom ReportMetric columns.
