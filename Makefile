@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint fmt-check bench bench-serve serve-smoke chaos chaos-short chaos-crash ci
+.PHONY: build test race vet lint fmt-check bench bench-smoke bench-serve serve-smoke chaos chaos-short chaos-crash ci
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,12 @@ fmt-check:
 bench:
 	scripts/bench.sh
 
+# One-iteration pass over the batched-execution benchmarks: compiles and
+# exercises the multi-RHS M2L and the batched/per-edge hot-path variants
+# end to end without the full bench.sh measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkM2LBatchedVsSingle|BenchmarkEvaluateHotPathBatched' -benchtime 1x -timeout 30m .
+
 # Evaluation-service smoke test: concurrent mixed requests against an
 # in-process server (httptest), asserting every response is a 200 and the
 # cache/coalescing/queue metrics add up, plus a goroutine-leak check.
@@ -65,4 +71,4 @@ chaos-short:
 chaos-crash:
 	$(GO) test ./internal/amt -run TestChaosCrash -v -count=1 -timeout 15m
 
-ci: build vet fmt-check lint test race serve-smoke chaos-short chaos-crash
+ci: build vet fmt-check lint test race serve-smoke chaos-short chaos-crash bench-smoke

@@ -17,6 +17,7 @@ package repro
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -266,6 +267,102 @@ func BenchmarkOpS2T(b *testing.B) {
 	}
 }
 
+// m2lLatticeOffsets enumerates the full interaction lattice of one level:
+// every offset with Chebyshev norm 2 or 3, the 316 distinct cached dense
+// operators list-2 edges can apply.
+func m2lLatticeOffsets() []kernel.M2LOffset {
+	var offs []kernel.M2LOffset
+	for dx := -3; dx <= 3; dx++ {
+		for dy := -3; dy <= 3; dy++ {
+			for dz := -3; dz <= 3; dz++ {
+				m := dx
+				if m < 0 {
+					m = -m
+				}
+				if v := dy; v > m || -v > m {
+					m = v
+					if m < 0 {
+						m = -m
+					}
+				}
+				if v := dz; v > m || -v > m {
+					m = v
+					if m < 0 {
+						m = -m
+					}
+				}
+				if m >= 2 {
+					offs = append(offs, kernel.M2LOffset{DX: int8(dx), DY: int8(dy), DZ: int8(dz)})
+				}
+			}
+		}
+	}
+	return offs
+}
+
+// BenchmarkM2LBatchedVsSingle is the batched-execution acceptance
+// microbenchmark, modeling one level's list-2 edge stream: the full
+// 316-operator interaction lattice (~50 MB of cached dense operators, far
+// beyond cache) with 4 edges per operator. "single" applies the edges in
+// the executor's per-edge order — operator varying fastest, so every apply
+// re-streams its 160 KB operator from memory — while "batched" is the
+// batch descriptor's order, grouped by operator, so each operator streams
+// once per multi-RHS block. The ratio is the far-field memory-bandwidth
+// win batching buys.
+func BenchmarkM2LBatchedVsSingle(b *testing.B) {
+	const nPer = 4 // edges per operator
+	const side = 0.25
+	lattice := m2lLatticeOffsets()
+	for name, k := range opKernels(b) {
+		bk := k.(kernel.BatchKernel)
+		sq := k.MLSize()
+		rng := rand.New(rand.NewSource(9))
+		ins := make([][]complex128, nPer)
+		outs := make([][]complex128, nPer)
+		for r := range ins {
+			ins[r] = make([]complex128, sq)
+			for j := range ins[r] {
+				ins[r][j] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+			outs[r] = make([]complex128, sq)
+		}
+		from := geom.Point{X: 0.5, Y: 0.5, Z: 0.5}
+		for _, off := range lattice { // build every cached operator up front
+			k.M2L(from, from.Add(off.Scale(side)), side, ins[0], outs[0])
+		}
+		// The batched view of the same edge set: nPer-long runs per offset.
+		gOffs := make([]kernel.M2LOffset, 0, len(lattice)*nPer)
+		gIns := make([][]complex128, 0, len(lattice)*nPer)
+		gOuts := make([][]complex128, 0, len(lattice)*nPer)
+		for _, off := range lattice {
+			for r := 0; r < nPer; r++ {
+				gOffs = append(gOffs, off)
+				gIns = append(gIns, ins[r])
+				gOuts = append(gOuts, outs[r])
+			}
+		}
+		b.Run("single/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < nPer; r++ {
+					for _, off := range lattice {
+						k.M2L(from, from.Add(off.Scale(side)), side, ins[r], outs[r])
+					}
+				}
+			}
+		})
+		b.Run("batched/"+name, func(b *testing.B) {
+			bk.M2LBatch(gOffs, side, 2, gIns, gOuts) // warm
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bk.M2LBatch(gOffs, side, 2, gIns, gOuts)
+			}
+		})
+	}
+}
+
 // BenchmarkFig3StrongScaling simulates the strong-scaling sweep of Fig. 3
 // (32..1024 cores here; use cmd/scaling for the full 4096) and reports the
 // efficiency at each scale.
@@ -434,12 +531,42 @@ func BenchmarkEvaluateRealRuntime(b *testing.B) {
 	}
 }
 
+// hotPathLoop runs the steady-state evaluation loop with per-edge
+// normalized memory metrics: bytes/edge and allocs/edge from MemStats
+// deltas across the timed region, plus the raw edge census. These are the
+// numbers the alloc gates bound, reported so scripts/bench.sh tracks them
+// run over run in BENCH_hotpath.json.
+func hotPathLoop(b *testing.B, p *core.Plan, pe *core.ParallelEvaluation, q []float64) {
+	b.Helper()
+	if _, _, err := pe.Run(q); err != nil { // warm the operator caches
+		b.Fatal(err)
+	}
+	edges := float64(p.Graph.NumEdges())
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pe.Run(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	den := float64(b.N) * edges
+	b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/den, "bytes/edge")
+	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/den, "allocs/edge")
+	b.ReportMetric(edges, "edges")
+}
+
 // BenchmarkEvaluateHotPath is the end-to-end acceptance benchmark of the
 // hot-path overhaul: repeated evaluation of one plan (cube, Laplace,
 // N=50k) through a reusable ParallelEvaluation, the steady-state shape of
-// a time-stepping application. allocs/op divided by the edges metric is
-// the per-edge allocation count, which the executor keeps at ~0 via the
-// prebuilt node tasks and pooled parcel batches.
+// a time-stepping application. The default advanced method carries list 2
+// as plane waves, so batched execution covers the near field here (tiled
+// P2P); allocs/op divided by the edges metric is the per-edge allocation
+// count, which the executor keeps at ~0 via the prebuilt node tasks and
+// pooled parcel batches.
 func BenchmarkEvaluateHotPath(b *testing.B) {
 	const n = 50000
 	p := cachedPlan(b, "hotpath", func() *core.Plan {
@@ -456,23 +583,43 @@ func BenchmarkEvaluateHotPath(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, _, err := pe.Run(q); err != nil { // warm the operator caches
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := pe.Run(q); err != nil {
+	hotPathLoop(b, p, pe, q)
+}
+
+// BenchmarkEvaluateHotPathBatched is the batched-execution end-to-end
+// gate on the method it targets hardest: the basic FMM carries all list-2
+// traffic as dense M->L edges, which the batch descriptors group by cached
+// operator into multi-RHS applies. The per-edge reference is the same plan
+// with ExecOptions.PerEdge, reported as the "per-edge" sub-benchmark; the
+// ratio is the end-to-end batching win.
+func BenchmarkEvaluateHotPathBatched(b *testing.B) {
+	const n = 50000
+	p := cachedPlan(b, "hotpath-basic", func() *core.Plan {
+		sp := points.Generate(points.Cube, n, 1)
+		tp := points.Generate(points.Cube, n, 2)
+		pl, err := core.NewPlan(sp, tp, kernel.NewLaplace(kernel.OrderForDigits(3)),
+			core.Options{Method: dag.Basic})
+		if err != nil {
 			b.Fatal(err)
 		}
+		return pl
+	})
+	q := points.Charges(n, 3)
+	for _, mode := range []struct {
+		name    string
+		perEdge bool
+	}{
+		{"batched", false},
+		{"per-edge", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			pe, err := p.NewParallelEvaluation(core.ExecOptions{Workers: 2, PerEdge: mode.perEdge})
+			if err != nil {
+				b.Fatal(err)
+			}
+			hotPathLoop(b, p, pe, q)
+		})
 	}
-	b.StopTimer()
-	_, edges := p.Graph.Census()
-	var total int64
-	for _, e := range edges {
-		total += e.Count
-	}
-	b.ReportMetric(float64(total), "edges")
 }
 
 // BenchmarkEvaluateHotPathDetector is BenchmarkEvaluateHotPath with the
@@ -500,16 +647,7 @@ func BenchmarkEvaluateHotPathDetector(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, _, err := pe.Run(q); err != nil { // warm the operator caches
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := pe.Run(q); err != nil {
-			b.Fatal(err)
-		}
-	}
+	hotPathLoop(b, p, pe, q)
 }
 
 // BenchmarkDirectSum measures the O(N^2) baseline so the FMM crossover is

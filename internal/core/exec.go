@@ -10,6 +10,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/dist"
 	"repro/internal/geom"
+	"repro/internal/kernel"
 	"repro/internal/trace"
 )
 
@@ -32,6 +33,14 @@ type ExecOptions struct {
 	// Section VI: tasks of the upward source-tree sweep (S and M nodes) run
 	// before everything else, pulling the critical path forward.
 	Priority bool
+	// PerEdge disables batched kernel execution (the multi-RHS M->L batches
+	// and tiled P2P of batch.go): every DAG edge is applied individually, as
+	// before the batching work. The accuracy gates evaluate both paths and
+	// compare them; it is also the escape hatch if a batch-ineligible
+	// configuration is wanted explicitly. Latency-modeled runs are per-edge
+	// regardless, since batches complete in shared memory and would bypass
+	// the modeled wire.
+	PerEdge bool
 	// Gradient also computes the potential gradient at every target;
 	// retrieve it with EvaluateGrad.
 	Gradient bool
@@ -155,6 +164,7 @@ func (p *Plan) NewParallelEvaluation(opts ExecOptions) (*ParallelEvaluation, err
 		id := int32(i)
 		ex.tasks[i] = func(w *amt.Worker) { ex.runNode(w, id) }
 	}
+	ex.initBatches(p, opts)
 	if len(opts.Crash) > 0 && opts.Detector == nil {
 		return nil, fmt.Errorf("core: ExecOptions.Crash requires ExecOptions.Detector")
 	}
@@ -181,6 +191,7 @@ func (e *ParallelEvaluation) Reset() {
 	for i := range ex.remaining {
 		ex.remaining[i].Store(ex.g.Nodes[i].In)
 	}
+	ex.resetBatchPending()
 	ex.stallMu.Lock()
 	ex.stallErr = nil
 	ex.stallMu.Unlock()
@@ -203,6 +214,7 @@ func (e *ParallelEvaluation) Run(charges []float64) ([]float64, ExecReport, erro
 	for i := range g.Nodes {
 		ex.remaining[i].Store(g.Nodes[i].In)
 	}
+	ex.resetBatchPending()
 	if ex.rec != nil {
 		ex.rec.resetRun(opts.Localities, opts.Workers)
 	}
@@ -325,6 +337,15 @@ type executor struct {
 	remaining []atomic.Int32
 	locks     []sync.Mutex
 	tasks     []amt.Task // prebuilt node continuations, indexed by node ID
+	// Batched execution (batch.go): descriptors from the plan, the
+	// per-kind enable switches, one pending-source counter and prebuilt
+	// task per batch, and the pooled GEMM/chunk scratch.
+	batches      *dag.Batches
+	bk           kernel.BatchKernel
+	m2lOn, p2pOn bool
+	batchPending []atomic.Int32
+	batchTasks   []amt.Task
+	batchScratch sync.Pool
 	// rec, when non-nil, switches node execution to the crash-recovery
 	// path (recover.go); nil leaves the hot path untouched.
 	rec *recovery
@@ -422,6 +443,11 @@ func (ex *executor) runNode(w *amt.Worker, id int32) {
 	// while hot (Section VI discusses this trade-off).
 	var batch *remoteBatch
 	for _, e := range n.Out {
+		if e.Batched && ex.batchEdgeOn(e.Op) {
+			// A batch task owns this edge; it fires when every source of
+			// its batch has triggered (noteBatchSources below).
+			continue
+		}
 		dest := ex.g.Nodes[e.To].Locality
 		if dest == myLoc {
 			ex.deliver(w, n, e)
@@ -432,23 +458,23 @@ func (ex *executor) runNode(w *amt.Worker, id int32) {
 		}
 		batch.add(dest, e)
 	}
-	if batch == nil {
-		return
+	if batch != nil {
+		// One coalesced parcel per destination locality: expansion data +
+		// edge descriptors travel once, the transforms run at the receiver.
+		for i, dest := range batch.dests {
+			pe := batch.lists[i]
+			bytes := int(n.Bytes) + parcelOverhead*len(pe.edges)
+			w.SendParcel(int(dest), bytes, func(w2 *amt.Worker) {
+				for _, e := range pe.edges {
+					ex.deliver(w2, n, e)
+				}
+				pe.edges = pe.edges[:0]
+				parcelEdgesPool.Put(pe)
+			})
+		}
+		batch.release()
 	}
-	// One coalesced parcel per destination locality: expansion data +
-	// edge descriptors travel once, the transforms run at the receiver.
-	for i, dest := range batch.dests {
-		pe := batch.lists[i]
-		bytes := int(n.Bytes) + parcelOverhead*len(pe.edges)
-		w.SendParcel(int(dest), bytes, func(w2 *amt.Worker) {
-			for _, e := range pe.edges {
-				ex.deliver(w2, n, e)
-			}
-			pe.edges = pe.edges[:0]
-			parcelEdgesPool.Put(pe)
-		})
-	}
-	batch.release()
+	ex.noteBatchSources(w, id)
 }
 
 // deliver applies one edge into its target LCO: the transform plus
@@ -474,19 +500,26 @@ func (ex *executor) deliver(w *amt.Worker, from *dag.Node, e dag.Edge) {
 		})
 	}
 	if ex.remaining[e.To].Add(-1) == 0 {
-		to := &ex.g.Nodes[e.To]
-		high := ex.isHigh(to.ID)
-		switch {
-		case int32(w.Rank()) == to.Locality && high:
-			w.SpawnHigh(ex.tasks[to.ID])
-		case int32(w.Rank()) == to.Locality:
-			w.Spawn(ex.tasks[to.ID])
-		case high:
-			ex.rt.Locality(int(to.Locality)).SpawnHigh(ex.tasks[to.ID])
-		default:
-			// The LCO lives on its home locality; its continuation runs
-			// there.
-			ex.rt.Locality(int(to.Locality)).Spawn(ex.tasks[to.ID])
-		}
+		ex.fireNode(w, e.To)
+	}
+}
+
+// fireNode spawns the continuation of a node whose last input just arrived,
+// on its home locality (the LCO lives there) with the priority hint of its
+// class. Shared by the per-edge delivery and the batch completion paths.
+//
+//dashmm:noalloc
+func (ex *executor) fireNode(w *amt.Worker, id int32) {
+	to := &ex.g.Nodes[id]
+	high := ex.isHigh(to.ID)
+	switch {
+	case int32(w.Rank()) == to.Locality && high:
+		w.SpawnHigh(ex.tasks[to.ID])
+	case int32(w.Rank()) == to.Locality:
+		w.Spawn(ex.tasks[to.ID])
+	case high:
+		ex.rt.Locality(int(to.Locality)).SpawnHigh(ex.tasks[to.ID])
+	default:
+		ex.rt.Locality(int(to.Locality)).Spawn(ex.tasks[to.ID])
 	}
 }

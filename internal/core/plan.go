@@ -53,6 +53,11 @@ type Plan struct {
 	Graph  *dag.Graph
 	opts   Options
 
+	// batches carries the plan-build-time batch descriptors (dag.BuildBatches):
+	// far-field edges grouped per dense operator, near-field edges per target
+	// leaf. The serve plan cache reuses them along with the rest of the plan.
+	batches *dag.Batches
+
 	// ctxMu guards ctxs, the evaluation contexts handed out by
 	// NewEvaluation / NewParallelEvaluation. Plan.Reset re-arms them all so
 	// a cached plan is re-executable without being rebuilt.
@@ -110,7 +115,10 @@ func NewPlan(sources, targets []geom.Point, k kernel.Kernel, opts Options) (*Pla
 	}
 	k.Prepare(dom.Side, maxLevel+1)
 	g := dag.Build(dag.Config{Method: o.Method, Theta: o.Theta}, src, tgt, lists, k)
-	return &Plan{Kernel: k, Source: src, Target: tgt, Lists: lists, Graph: g, opts: o}, nil
+	return &Plan{
+		Kernel: k, Source: src, Target: tgt, Lists: lists, Graph: g, opts: o,
+		batches: dag.BuildBatches(g, k),
+	}, nil
 }
 
 // state holds the payloads of one evaluation of the DAG.

@@ -390,6 +390,45 @@ func (rec *recovery) onRankFailure(rank int) {
 			}
 		}
 	}
+	// Batch demotion: the crash retires the batch pending counters (see
+	// runNodeRecov) and may have lost in-flight batch tasks with the dead
+	// rank, so any batched edge of an already-complete source that no batch
+	// applied would otherwise never be delivered — its source will not
+	// re-trigger, and post-crash triggers only carry their own edges. Scan
+	// every enabled batch's members and replay the unapplied ones whose
+	// source is complete; sources being rebuilt (or still accumulating)
+	// re-send inline when they re-trigger, and the applied bits dedupe
+	// against any batch task that raced the verdict.
+	if ex.m2lOn || ex.p2pOn {
+		demote := func(edges []dag.BatchEdge) {
+			for _, be := range edges {
+				gidx := rec.edgeBase[be.From] + be.Out
+				if rec.applied[gidx].Load() || inSet[be.From] {
+					continue
+				}
+				if g.Nodes[be.From].In > 0 && ex.remaining[be.From].Load() != 0 {
+					continue
+				}
+				src, out := be.From, be.Out
+				home := ex.rt.Locality(int(rec.homes[be.To].Load()))
+				replayed++
+				home.Spawn(func(w *amt.Worker) {
+					from := &ex.g.Nodes[src]
+					ex.deliverRecov(w, from, rec.edgeBase[src]+out, from.Out[out], ep)
+				})
+			}
+		}
+		if ex.m2lOn {
+			for i := range ex.batches.M2L {
+				demote(ex.batches.M2L[i].Edges)
+			}
+		}
+		if ex.p2pOn {
+			for i := range ex.batches.P2P {
+				demote(ex.batches.P2P[i].Edges)
+			}
+		}
+	}
 	rec.edgesReplayed.Add(replayed)
 	rec.recoveries.Add(1)
 	if tr := ex.tracer; tr.Enabled() {
@@ -556,6 +595,13 @@ func (ex *executor) runNodeRecov(w *amt.Worker, id int32) {
 	base := rec.edgeBase[id]
 	var batch *remoteBatch
 	for j, e := range n.Out {
+		// Pre-crash, batched edges ride their batch task (the counter
+		// decrement below fires it). After a crash verdict the batch
+		// counters are abandoned — deliver inline; the applied bits dedupe
+		// against any batch task that did fire.
+		if e.Batched && ex.batchEdgeOn(e.Op) && !rec.crashed.Load() {
+			continue
+		}
 		dest := rec.homes[e.To].Load()
 		if dest == myLoc {
 			ex.deliverRecov(w, n, base+int32(j), e, ep)
@@ -566,22 +612,31 @@ func (ex *executor) runNodeRecov(w *amt.Worker, id int32) {
 		}
 		batch.addIdx(dest, e, base+int32(j))
 	}
-	if batch == nil {
-		return
+	if batch != nil {
+		for i, dest := range batch.dests {
+			pe := batch.lists[i]
+			bytes := int(n.Bytes) + parcelOverhead*len(pe.edges)
+			w.SendParcel(int(dest), bytes, func(w2 *amt.Worker) {
+				for k, e := range pe.edges {
+					ex.deliverRecov(w2, n, pe.idx[k], e, ep)
+				}
+				pe.edges = pe.edges[:0]
+				pe.idx = pe.idx[:0]
+				parcelEdgesPool.Put(pe)
+			})
+		}
+		batch.release()
 	}
-	for i, dest := range batch.dests {
-		pe := batch.lists[i]
-		bytes := int(n.Bytes) + parcelOverhead*len(pe.edges)
-		w.SendParcel(int(dest), bytes, func(w2 *amt.Worker) {
-			for k, e := range pe.edges {
-				ex.deliverRecov(w2, n, pe.idx[k], e, ep)
-			}
-			pe.edges = pe.edges[:0]
-			pe.idx = pe.idx[:0]
-			parcelEdgesPool.Put(pe)
-		})
+	// A node whose batched edges were skipped above must still count
+	// against its batches — but only pre-crash: once crashed is set, the
+	// counters are dead (a skipped edge here and a skipped decrement there
+	// would deadlock a batch) and the demotion scan in onRankFailure plus
+	// the inline path above carry every batched edge. If the verdict lands
+	// between the loop and this check, the skipped edges are unapplied
+	// edges of a complete source — exactly what the demotion scan replays.
+	if !rec.crashed.Load() {
+		ex.noteBatchSources(w, id)
 	}
-	batch.release()
 }
 
 // deliverRecov applies one edge with exactly-once semantics under crash

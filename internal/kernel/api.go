@@ -174,12 +174,26 @@ func (b *base) m2lMatrix(from, to geom.Point, side float64) []complex128 {
 	if b.m2lCacheOff {
 		return nil
 	}
+	off, ok := b.M2LOffsetOf(from, to, side)
+	if !ok {
+		return nil
+	}
+	return b.m2lMatrixOff(off, side)
+}
+
+// M2LOffsetOf implements BatchKernel: it classifies the translation from ->
+// to against the list-2 interaction lattice of boxes with the given side. An
+// offset is cacheable when every component is an integer multiple of the
+// side and the Chebyshev norm lies in [2, 3] — nearer pairs are not
+// well-separated (the projection sphere would not enclose the targets) and
+// farther ones are off the bounded list-2 key space.
+func (b *base) M2LOffsetOf(from, to geom.Point, side float64) (M2LOffset, bool) {
 	off := to.Sub(from)
 	dx, okx := latticeCoord(off.X, side)
 	dy, oky := latticeCoord(off.Y, side)
 	dz, okz := latticeCoord(off.Z, side)
 	if !okx || !oky || !okz {
-		return nil
+		return M2LOffset{}, false
 	}
 	max := abs8(dx)
 	if v := abs8(dy); v > max {
@@ -189,12 +203,20 @@ func (b *base) m2lMatrix(from, to geom.Point, side float64) []complex128 {
 		max = v
 	}
 	if max < 2 || max > 3 {
-		// Nearer than well-separated (the projection sphere would not
-		// enclose the targets) or beyond the list-2 lattice (unbounded key
-		// space): leave it to the projection path.
+		return M2LOffset{}, false
+	}
+	return M2LOffset{DX: dx, DY: dy, DZ: dz}, true
+}
+
+// m2lMatrixOff returns the cached dense M->L operator for one lattice
+// offset, building it on first use, or nil with the cache disabled. The
+// operator depends only on the offset vector (never on the absolute
+// centers), which is what makes one matrix serve every edge of a batch.
+func (b *base) m2lMatrixOff(off M2LOffset, side float64) []complex128 {
+	if b.m2lCacheOff {
 		return nil
 	}
-	key := xlKey{kind: m2lKind, sideBits: math.Float64bits(side), ox: dx, oy: dy, oz: dz}
+	key := xlKey{kind: m2lKind, sideBits: math.Float64bits(side), ox: off.DX, oy: off.DY, oz: off.DZ}
 	if v, ok := b.xl.Load(key); ok {
 		return v.([]complex128)
 	}
@@ -203,7 +225,7 @@ func (b *base) m2lMatrix(from, to geom.Point, side float64) []complex128 {
 	ws := b.newWorkspace()
 	e := make([]complex128, sq)
 	col := make([]complex128, sq)
-	toP := geom.Point{X: float64(dx) * side, Y: float64(dy) * side, Z: float64(dz) * side}
+	toP := off.Scale(side)
 	for j := 0; j < sq; j++ {
 		e[j] = 1
 		for i := range col {

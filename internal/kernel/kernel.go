@@ -115,6 +115,7 @@ type base struct {
 
 	directF  func(r float64) float64                 // pointwise kernel G(r)
 	gradF    func(r float64) float64                 // dG/dr, for gradient eval
+	p2pF     p2pFunc                                 // tiled near-field apply (p2p.go)
 	pwNodes  func(side float64) (u, mu, w []float64) // box-unit quadrature generator
 	pwParams pwGenParams
 	pw       *pwTables // plane-wave machinery, set up by Prepare
@@ -149,6 +150,7 @@ func newBase(name string, p int, radReg, radOut radialFunc, cn []float64) *base 
 		aM2L:   1.05,
 		aL2L:   1.0,
 	}
+	b.p2pF = genericP2PTile(b)
 	nth := p + 1 + sphOversample
 	nph := 2*p + 2 + 2*sphOversample
 	xs, ws := sphharm.GaussLegendre(nth)

@@ -1,0 +1,126 @@
+package kernel
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Tiled near-field execution: the S->T lists of one target leaf touch many
+// source leaves, and the generic S2T walks each pair through the directF
+// closure. P2P instead blocks the targets into L1-sized tiles with a stack
+// accumulator and streams every source chunk through each tile once, with
+// the kernel evaluation inlined (no closure call per pair).
+
+// P2PChunk is one source block of a tiled near-field apply: the points and
+// matching charges of one source leaf.
+type P2PChunk struct {
+	Pts []geom.Point
+	Q   []float64
+}
+
+// p2pTile is the target tile size: 64 targets (1.5 KB of positions plus a
+// 512 B accumulator) stay L1-resident while the source chunks stream.
+const p2pTile = 64
+
+// p2pFunc accumulates all chunks into one target tile (len(tile) <= p2pTile).
+type p2pFunc func(chunks []P2PChunk, tile []geom.Point, pot []float64)
+
+// P2P implements BatchKernel: the near-field lists of one target leaf
+// applied as cache-blocked source/target chunks. Coincident pairs are
+// skipped, matching S2T.
+//
+//dashmm:noalloc
+func (b *base) P2P(chunks []P2PChunk, tpts []geom.Point, pot []float64) {
+	for lo := 0; lo < len(tpts); lo += p2pTile {
+		hi := lo + p2pTile
+		if hi > len(tpts) {
+			hi = len(tpts)
+		}
+		b.p2pF(chunks, tpts[lo:hi], pot[lo:hi])
+	}
+}
+
+// genericP2PTile is the fallback tile apply through the directF closure,
+// used by kernels without an inlined specialization.
+func genericP2PTile(b *base) p2pFunc {
+	return func(chunks []P2PChunk, tile []geom.Point, pot []float64) {
+		var acc [p2pTile]float64
+		nt := len(tile)
+		for ti := 0; ti < nt; ti++ {
+			acc[ti] = 0
+		}
+		for _, ch := range chunks {
+			for si, s := range ch.Pts {
+				qv := ch.Q[si]
+				for ti := 0; ti < nt; ti++ {
+					r := tile[ti].Dist(s)
+					if r == 0 {
+						continue
+					}
+					acc[ti] += qv * b.directF(r)
+				}
+			}
+		}
+		for ti := 0; ti < nt; ti++ {
+			pot[ti] += acc[ti]
+		}
+	}
+}
+
+// laplaceP2PTile inlines 1/r: one sqrt per pair, no closure call.
+func laplaceP2PTile(chunks []P2PChunk, tile []geom.Point, pot []float64) {
+	var acc [p2pTile]float64
+	nt := len(tile)
+	for ti := 0; ti < nt; ti++ {
+		acc[ti] = 0
+	}
+	for _, ch := range chunks {
+		for si, s := range ch.Pts {
+			qv := ch.Q[si]
+			for ti := 0; ti < nt; ti++ {
+				dx := tile[ti].X - s.X
+				dy := tile[ti].Y - s.Y
+				dz := tile[ti].Z - s.Z
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 == 0 {
+					continue
+				}
+				acc[ti] += qv / math.Sqrt(r2)
+			}
+		}
+	}
+	for ti := 0; ti < nt; ti++ {
+		pot[ti] += acc[ti]
+	}
+}
+
+// yukawaP2PTile inlines e^{-lambda r}/r for the given screening parameter.
+func yukawaP2PTile(lambda float64) p2pFunc {
+	return func(chunks []P2PChunk, tile []geom.Point, pot []float64) {
+		var acc [p2pTile]float64
+		nt := len(tile)
+		for ti := 0; ti < nt; ti++ {
+			acc[ti] = 0
+		}
+		for _, ch := range chunks {
+			for si, s := range ch.Pts {
+				qv := ch.Q[si]
+				for ti := 0; ti < nt; ti++ {
+					dx := tile[ti].X - s.X
+					dy := tile[ti].Y - s.Y
+					dz := tile[ti].Z - s.Z
+					r2 := dx*dx + dy*dy + dz*dz
+					if r2 == 0 {
+						continue
+					}
+					r := math.Sqrt(r2)
+					acc[ti] += qv * math.Exp(-lambda*r) / r
+				}
+			}
+		}
+		for ti := 0; ti < nt; ti++ {
+			pot[ti] += acc[ti]
+		}
+	}
+}

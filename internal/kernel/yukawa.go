@@ -56,6 +56,7 @@ func NewYukawa(p int, lambda float64) Kernel {
 		// d/dr e^{-lr}/r = -e^{-lr} (l r + 1) / r^2
 		return -math.Exp(-lambda*r) * (lambda*r + 1) / (r * r)
 	}
+	b.p2pF = yukawaP2PTile(lambda)
 	b.pwParams = defaultPWParams
 	b.pwNodes = func(side float64) (u, mu, w []float64) {
 		return yukawaNodes(lambda*side, b.pwParams)

@@ -159,6 +159,12 @@ func GaussLegendre(n int) (x, w []float64) {
 	return x, w
 }
 
+// besselScratch is the stack buffer covering the Miller-recurrence scratch
+// of every argument the FMM operators produce (start = p + 16 + x for the
+// unscaled recurrence): the downward passes stay allocation-free on the hot
+// M->L projection path, with a heap fallback for extreme arguments.
+const besselScratch = 192
+
 // BesselI fills out[n] with the modified spherical Bessel functions of the
 // first kind i_n(x) = sqrt(pi/(2x)) I_{n+1/2}(x) for n = 0..p, using
 // downward (Miller) recurrence normalized by i_0 = sinh(x)/x. out must have
@@ -186,7 +192,13 @@ func BesselI(p int, x float64, out []float64) {
 	// then scale so that f_0 matches sinh(x)/x.
 	start := p + 16 + int(x)
 	fp1, fn := 0.0, 1.0
-	var vals = make([]float64, start+1)
+	var buf [besselScratch]float64
+	vals := buf[:]
+	if start+1 > len(buf) {
+		vals = make([]float64, start+1)
+	} else {
+		vals = vals[:start+1]
+	}
 	vals[start] = fn
 	for n := start; n >= 1; n-- {
 		fm1 := fp1 + float64(2*n+1)/x*fn
@@ -244,7 +256,13 @@ func BesselIScaled(p int, x float64, out []float64) {
 	// (1 - e^{-2x}) / (2x).
 	start := p + 16 + int(math.Sqrt(x))
 	fp1, fn := 0.0, 1.0
-	vals := make([]float64, start+1)
+	var buf [besselScratch]float64
+	vals := buf[:]
+	if start+1 > len(buf) {
+		vals = make([]float64, start+1)
+	} else {
+		vals = vals[:start+1]
+	}
 	vals[start] = fn
 	for n := start; n >= 1; n-- {
 		fm1 := fp1 + float64(2*n+1)/x*fn

@@ -1,9 +1,9 @@
 #!/bin/sh
 # Runs the hot-path benchmark suite (lock-free deque, cached M→L
-# operators, zero-allocation evaluation, and the detector-armed hot path —
-# the 'BenchmarkEvaluateHotPath' pattern matches both the plain and the
-# Detector variant) and writes the results as machine-readable JSON to
-# BENCH_hotpath.json in the repository root.
+# operators, batched multi-RHS M→L, zero-allocation evaluation, and the
+# detector-armed hot path — the 'BenchmarkEvaluateHotPath' pattern matches
+# the plain, Detector, and Batched variants) and writes the results as
+# machine-readable JSON to BENCH_hotpath.json in the repository root.
 # A pre-existing BENCH_hotpath.json is kept as BENCH_hotpath.prev.json and
 # a ns/op comparison is printed; a missing prior file is fine — the
 # comparison is simply skipped.
@@ -95,8 +95,8 @@ run_bench ./internal/kernel -run '^$' \
     -bench 'BenchmarkM2LCachedVsProjected' \
     -benchmem "$@"
 run_bench . -run '^$' \
-    -bench 'BenchmarkEvaluateHotPath' \
-    -benchtime 3x "$@"
+    -bench 'BenchmarkEvaluateHotPath|BenchmarkM2LBatchedVsSingle' \
+    -benchtime 3x -timeout 40m "$@"
 
 # Convert `go test -bench` lines into a JSON array: one object per
 # benchmark with ns/op, allocations, and any custom ReportMetric columns.
@@ -135,6 +135,23 @@ END {
     det = ns["BenchmarkEvaluateHotPathDetector"]
     if (base + 0 > 0 && det + 0 > 0)
         printf "detector-enabled no-crash overhead: %s -> %s ns/op (%+.1f%%)\n", base, det, (det - base) / base * 100
+}
+' BENCH_hotpath.json
+
+# Batched-execution win on the dense-M2L method: the per-edge sub-benchmark
+# of the Basic-method hot path against the batched default from the same
+# run (tentpole acceptance: batched must be faster end to end).
+awk '
+match($0, /"name": "[^"]*"/) {
+    name = substr($0, RSTART + 9, RLENGTH - 10)
+    if (match($0, /"ns_per_op": [0-9.e+]*/))
+        ns[name] = substr($0, RSTART + 13, RLENGTH - 13)
+}
+END {
+    per = ns["BenchmarkEvaluateHotPathBatched/per-edge"]
+    bat = ns["BenchmarkEvaluateHotPathBatched/batched"]
+    if (per + 0 > 0 && bat + 0 > 0)
+        printf "batched-execution end-to-end win: per-edge %s -> batched %s ns/op (%.2fx)\n", per, bat, per / bat
 }
 ' BENCH_hotpath.json
 
