@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint fmt-check bench bench-smoke bench-serve serve-smoke chaos chaos-short chaos-crash ci
+.PHONY: build test race vet lint fmt-check bench bench-smoke bench-serve serve-smoke chaos chaos-short chaos-crash dist-smoke ci
 
 build:
 	$(GO) build ./...
@@ -71,4 +71,11 @@ chaos-short:
 chaos-crash:
 	$(GO) test ./internal/amt -run TestChaosCrash -v -count=1 -timeout 15m
 
-ci: build vet fmt-check lint test race serve-smoke chaos-short chaos-crash bench-smoke
+# Multi-process smoke: four real OS processes joined over unix sockets, one
+# worker rank SIGKILLed at 50% of its local progress; the driver gates the
+# gathered potentials at 1e-12 against the sequential evaluation and exits
+# non-zero on any mismatch, wedge, or unexpected child failure.
+dist-smoke: build
+	$(GO) run ./cmd/dashmm-bench -real -n 20000 -locs 4 -net unix -kill-rank 2 -kill-at 0.5
+
+ci: build vet fmt-check lint test race serve-smoke chaos-short chaos-crash dist-smoke bench-smoke

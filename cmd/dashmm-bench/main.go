@@ -19,9 +19,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
+	"net"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
+	"syscall"
+	"time"
 
 	"repro/internal/amt"
 	"repro/internal/core"
@@ -61,8 +68,15 @@ func main() {
 		// counters (ranks killed, subgraph nodes re-executed, recovery wall
 		// time) are reported after the run.
 		detect   = flag.Bool("detect", false, "with -real: arm the heartbeat failure detector")
-		killRank = flag.Int("kill-rank", -1, "with -real: locality to crash mid-run (implies -detect)")
+		killRank = flag.Int("kill-rank", -1, "with -real: locality to crash mid-run (implies -detect); with -net: worker rank to SIGKILL")
 		killAt   = flag.Float64("kill-at", 0.5, "with -real: DAG progress fraction at which -kill-rank dies")
+
+		// Multi-process mode: -net forks -locs real OS processes joined over
+		// a socket mesh; -kill-rank then SIGKILLs that worker process at
+		// -kill-at of its local progress and the run must still verify.
+		netMode  = flag.String("net", "", "with -real: run -locs separate processes over this network (tcp|unix)")
+		distRank = flag.Int("dist-rank", -1, "internal: rank of a forked -net worker process")
+		distAddr = flag.String("dist-addr", "", "internal: coordinator address for a forked -net worker")
 	)
 	flag.Parse()
 	if !*fig4 && !*fig5 && !*real {
@@ -76,9 +90,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *distRank > 0 {
+		os.Exit(runDistWorker(plan, *distRank, *locs, *netMode, *distAddr,
+			distStamp(*n, *digits, *thr, *locs), *killRank, *killAt))
+	}
 	fmt.Printf("# dashmm-bench: N=%d, %d DAG nodes, %d edges\n",
 		*n, len(plan.Graph.Nodes), plan.Graph.NumEdges())
 
+	if *real && *netMode != "" {
+		runDistCoordinator(plan, *n, *netMode, *locs, *killRank, *killAt, *digits, *thr)
+		return
+	}
 	if *real {
 		var fault *amt.FaultProfile
 		if *drop > 0 || *dup > 0 || *reorder || (*slowRank >= 0 && *slowDelay > 0) {
@@ -163,6 +185,170 @@ func main() {
 			}
 		}
 	}
+}
+
+// distStamp encodes the binary's scenario parameters into the handshake
+// stamp, so a worker built from different flags (or a different binary) is
+// rejected at join instead of silently computing a different DAG.
+func distStamp(n, digits, thr, locs int) string {
+	return fmt.Sprintf("dashmm-bench/n=%d,digits=%d,thr=%d,locs=%d", n, digits, thr, locs)
+}
+
+// distHeartbeat is the multi-process failure detector: 500ms of silence
+// before a verdict, slack enough for a loaded CI runner hosting every rank.
+func distHeartbeat() amt.FailureDetectorConfig {
+	return amt.FailureDetectorConfig{Interval: 50 * time.Millisecond, MissedBeats: 10}
+}
+
+// distWorkers splits the machine's cores across the ranks.
+func distWorkers(locs int) int {
+	w := runtime.GOMAXPROCS(0) / locs
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// coordinatorAddr picks rank 0's well-known address before the workers are
+// forked: a tmpdir socket for unix, a just-probed free loopback port for tcp.
+func coordinatorAddr(network string) string {
+	switch network {
+	case "unix":
+		return filepath.Join(os.TempDir(), fmt.Sprintf("dashmm-bench-%d.sock", os.Getpid()))
+	case "tcp":
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return addr
+	}
+	log.Fatalf("unknown -net %q (want tcp or unix)", network)
+	return ""
+}
+
+// runDistCoordinator is rank 0 of a multi-process run: it forks the worker
+// ranks as child processes of this same binary, evaluates over the socket
+// mesh, verifies the gathered potentials against the sequential evaluation
+// at 1e-12, and reports the transport and recovery counters.
+func runDistCoordinator(plan *core.Plan, n int, network string, locs, killRank int, killAt float64, digits, thr int) {
+	if locs < 2 {
+		log.Fatal("-net requires -locs >= 2")
+	}
+	if killRank >= 0 && (killRank == 0 || killRank >= locs) {
+		log.Fatalf("-kill-rank %d: must be a worker rank in 1..%d", killRank, locs-1)
+	}
+	addr := coordinatorAddr(network)
+	if network == "unix" {
+		defer os.Remove(addr)
+	}
+	cl, err := amt.NewCluster(amt.ClusterConfig{
+		Rank: 0, World: locs, Network: network, Addr: addr,
+		Stamp: distStamp(n, digits, thr, locs), Heartbeat: distHeartbeat(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	kids := make([]*exec.Cmd, 0, locs-1)
+	for r := 1; r < locs; r++ {
+		cmd := exec.Command(self,
+			"-dist-rank", strconv.Itoa(r), "-dist-addr", addr,
+			"-net", network, "-locs", strconv.Itoa(locs),
+			"-n", strconv.Itoa(n), "-digits", strconv.Itoa(digits), "-threshold", strconv.Itoa(thr),
+			"-kill-rank", strconv.Itoa(killRank), "-kill-at", fmt.Sprint(killAt))
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Fatalf("fork rank %d: %v", r, err)
+		}
+		kids = append(kids, cmd)
+	}
+
+	q := points.Charges(n, 3)
+	got, rep, err := core.DistRun(plan, cl, q, core.DistOptions{
+		Workers: distWorkers(locs), Seed: 1, Timeout: 5 * time.Minute,
+	})
+	for i, cmd := range kids {
+		werr := cmd.Wait()
+		rank := i + 1
+		if rank == killRank {
+			fmt.Printf("# rank %d (victim) exited: %v\n", rank, werr)
+			continue
+		}
+		if werr != nil {
+			log.Fatalf("rank %d exited: %v", rank, werr)
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n# distributed run: %d processes (%s) x %d workers, elapsed %v, %s\n",
+		locs, network, rep.Workers, rep.Elapsed, rep.Runtime)
+	ts := rep.Runtime.Transport
+	fmt.Printf("# wire: messages=%d bytes-out=%d bytes-in=%d reconnects=%d handshake-failures=%d\n",
+		ts.WireMessages, ts.BytesOut, ts.BytesIn, ts.Reconnects, ts.HandshakeFailures)
+	fmt.Printf("# delivery: sent=%d acked=%d retried=%d deadline-exceeded=%d dropped=%d\n",
+		ts.Sent, ts.Acked, ts.Retried, ts.DeadlineExceeded, ts.Dropped)
+	r := rep.Recovery
+	fmt.Printf("# recovery: ranks-killed=%d subgraph-nodes-reexecuted=%d edges-replayed=%d\n",
+		r.RanksKilled, r.NodesRebuilt, r.EdgesReplayed)
+
+	want, err := plan.EvaluateSequential(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var den, worst float64
+	for i := range want {
+		if m := math.Abs(want[i]); m > den {
+			den = m
+		}
+	}
+	for i := range got {
+		if e := math.Abs(got[i]-want[i]) / den; e > worst {
+			worst = e
+		}
+	}
+	if worst > 1e-12 {
+		fmt.Printf("# dist: FAIL max relative error %.3e (gate 1e-12)\n", worst)
+		os.Exit(1)
+	}
+	fmt.Printf("# dist: PASS max relative error %.3e (gate 1e-12)\n", worst)
+}
+
+// runDistWorker is one forked worker rank: join the cluster, evaluate, and
+// — when chosen as the chaos victim — SIGKILL itself at the requested local
+// progress fraction, leaving the survivors to detect and recover.
+func runDistWorker(plan *core.Plan, rank, locs int, network, addr, stamp string, killRank int, killAt float64) int {
+	cl, err := amt.NewCluster(amt.ClusterConfig{
+		Rank: rank, World: locs, Network: network, Addr: addr,
+		Stamp: stamp, Heartbeat: distHeartbeat(),
+	})
+	if err != nil {
+		log.Printf("rank %d join: %v", rank, err)
+		return 1
+	}
+	defer cl.Close()
+	opts := core.DistOptions{Workers: distWorkers(locs), Seed: int64(rank) + 1, Timeout: 5 * time.Minute}
+	if killRank == rank {
+		opts.OnProgress = func(fired, owned int) {
+			if owned > 0 && float64(fired) >= killAt*float64(owned) {
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		}
+	}
+	if _, _, err := core.DistRun(plan, cl, nil, opts); err != nil {
+		log.Printf("rank %d: %v", rank, err)
+		return 1
+	}
+	return 0
 }
 
 // simulate runs the DAG on `cores` simulated cores (32 per locality) and

@@ -62,6 +62,13 @@ type Config struct {
 	// registered OnFailure handlers run on each verdict. Required for
 	// Kill — a crash without a detector would hang the run.
 	Detector *FailureDetectorConfig
+	// World and Rank switch the runtime into wire mode (World > 1): this
+	// process hosts exactly one locality whose Rank is the global rank in
+	// [0, World), and remote parcels travel Transport as encoded frames
+	// (SendWire / DeliverWireFrame in wiredelivery.go) instead of closures.
+	// Membership — heartbeats, death verdicts — is the Cluster's job
+	// (cluster.go), not the in-process Detector's.
+	World, Rank int
 }
 
 // Runtime is the in-process AMT runtime.
@@ -97,6 +104,9 @@ type Runtime struct {
 
 	// Parcel delivery engine over cfg.Transport (delivery.go).
 	net *delivery
+	// wireHandler consumes inbound data frames in wire mode
+	// (wiredelivery.go). Written once before the data plane starts.
+	wireHandler WireHandler
 
 	// Stats.
 	parcelsSent  atomic.Int64
@@ -150,6 +160,10 @@ type Worker struct {
 // New creates a runtime with the given configuration. Call Run to execute
 // work.
 func New(cfg Config) *Runtime {
+	if cfg.World > 1 {
+		// Wire mode: one locality per process, globally ranked.
+		cfg.Localities = 1
+	}
 	if cfg.Localities <= 0 {
 		cfg.Localities = 1
 	}
@@ -187,6 +201,9 @@ func New(cfg Config) *Runtime {
 			gid++
 		}
 		rt.locs = append(rt.locs, loc)
+	}
+	if cfg.World > 1 {
+		rt.locs[0].Rank = cfg.Rank
 	}
 	return rt
 }
@@ -606,6 +623,10 @@ func (s Stats) String() string {
 	if s.RanksKilled+s.TasksDropped+s.LateSpawns > 0 {
 		out += fmt.Sprintf(" crash[killed=%d dropped=%d late=%d]",
 			s.RanksKilled, s.TasksDropped, s.LateSpawns)
+	}
+	if t := s.Transport; t.BytesOut+t.BytesIn+t.Reconnects+t.HandshakeFailures > 0 {
+		out += fmt.Sprintf(" wire[msgs=%d bytesOut=%d bytesIn=%d reconnects=%d handshakeFails=%d]",
+			t.WireMessages, t.BytesOut, t.BytesIn, t.Reconnects, t.HandshakeFailures)
 	}
 	return out
 }

@@ -1,0 +1,811 @@
+package amt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Rank bootstrap and membership for multi-process localities (DESIGN.md,
+// "Distribution"). The control plane is a star: rank 0 listens at a
+// well-known address, every worker rank joins with a handshake (rank id,
+// world size, build/version stamp, its own data-plane listen address) and
+// keeps the join connection open as its control channel. Rank 0 validates
+// joins — wrong stamp, out-of-range or duplicate rank, and joins after the
+// run has started are rejected with a reason — and once all ranks are
+// present broadcasts START carrying the full peer address list. From then
+// on the data plane is a mesh of SocketTransport connections (socket.go),
+// while heartbeats keep flowing worker→rank 0 over the control star: rank 0
+// is the single membership authority, declaring a silent rank dead after
+// the missed-beat threshold (the same policy as the in-process detector in
+// failure.go, now over a real wire) and broadcasting the verdict, with an
+// epoch number, to every survivor. A worker that loses its control
+// connection treats the coordinator as dead and aborts.
+
+// Cluster-internal control frame kinds. Application payload kinds must stay
+// below ctlBase.
+const (
+	ctlBase     uint16 = 0xff00
+	ctlHello    uint16 = 0xff01 // worker → rank0: join request
+	ctlWelcome  uint16 = 0xff02 // rank0 → worker: join accepted
+	ctlReject   uint16 = 0xff03 // rank0 → worker: join refused (payload: reason)
+	ctlStart    uint16 = 0xff04 // rank0 → workers: peer address list, run begins
+	ctlBeat     uint16 = 0xff05 // worker → rank0: heartbeat
+	ctlDead     uint16 = 0xff06 // rank0 → workers: death verdict (payload: rank, epoch)
+	ctlShutdown uint16 = 0xff07 // rank0 → workers: run complete, drain and exit
+	ctlAttach   uint16 = 0xff08 // data-plane connection preamble
+)
+
+// ClusterConfig configures one rank's view of a multi-process cluster.
+type ClusterConfig struct {
+	// Rank is this process's locality id in [0, World); rank 0 coordinates.
+	Rank, World int
+	// Network is "tcp" or "unix".
+	Network string
+	// Addr is rank 0's well-known address: the bind address on rank 0, the
+	// join target on workers.
+	Addr string
+	// Stamp is the build/version + scenario stamp; every rank must present
+	// an identical stamp or the join is rejected.
+	Stamp string
+	// Heartbeat tunes the membership detector (zero value = the failure.go
+	// defaults scaled for a real wire: 25ms interval, 8 missed beats).
+	Heartbeat FailureDetectorConfig
+	// DialBase/DialMax bound the data-plane dial retry backoff (defaults
+	// 5ms and 500ms).
+	DialBase, DialMax time.Duration
+	// MaxQueue bounds each peer's outbound frame queue; overflow is dropped
+	// and surfaces as wire loss (default 8192).
+	MaxQueue int
+	// JoinTimeout bounds the bootstrap: workers dialing rank 0 and rank 0
+	// awaiting the full roster (default 30s).
+	JoinTimeout time.Duration
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Heartbeat.Interval <= 0 {
+		c.Heartbeat.Interval = 25 * time.Millisecond
+	}
+	if c.Heartbeat.MissedBeats <= 0 {
+		c.Heartbeat.MissedBeats = 8
+	}
+	if c.DialBase <= 0 {
+		c.DialBase = 5 * time.Millisecond
+	}
+	if c.DialMax <= 0 {
+		c.DialMax = 500 * time.Millisecond
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 8192
+	}
+	if c.JoinTimeout <= 0 {
+		c.JoinTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// controlConn is one end of a control-star connection with a write lock (the
+// monitor, Start and Shutdown broadcast concurrently).
+type controlConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+func (cc *controlConn) send(f *Frame) error {
+	buf := AppendFrame(nil, f)
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	_, err := cc.conn.Write(buf)
+	return err
+}
+
+// Cluster is one rank's membership endpoint.
+type Cluster struct {
+	cfg ClusterConfig
+	ln  net.Listener
+	tp  *SocketTransport
+
+	mu        sync.Mutex
+	started   bool                 // guarded by mu: START sent/received
+	joined    map[int]*controlConn // guarded by mu; rank0 only
+	peerAddrs []string             // guarded by mu: data-plane listen address per rank
+
+	ctl *controlConn // worker side: the join connection to rank 0
+
+	dead     []atomic.Bool
+	epoch    atomic.Int32 // death verdicts issued/processed
+	lastBeat []atomic.Int64
+
+	onDeath     func(rank, epoch int)
+	onShutdown  func()
+	onCoordLost func(err error)
+
+	startCh chan struct{} // closed when START is received/sent
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	closeMu sync.Mutex
+	closed  bool
+
+	// connMu/conns tracks every accepted connection so Close can unblock
+	// their reader goroutines without waiting for the peer to hang up.
+	connMu    sync.Mutex
+	conns     map[net.Conn]struct{} // guarded by connMu
+	connsDone bool                  // guarded by connMu: Close ran, admit no more
+}
+
+// NewCluster binds this rank's listener and, on workers, joins rank 0's
+// control star (blocking until the join is accepted or rejected). Rank 0
+// returns immediately after binding; call Start to run the join barrier.
+// Register callbacks (OnDeath, OnShutdown, OnCoordinatorLost) before Start.
+//
+//dashmm:detached acceptLoop exits when Close closes the listener and quit; c.wg.Wait joins it
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.World < 2 {
+		return nil, fmt.Errorf("amt: cluster needs World >= 2, got %d", cfg.World)
+	}
+	if cfg.Rank < 0 || cfg.Rank >= cfg.World {
+		return nil, fmt.Errorf("amt: rank %d out of range [0,%d)", cfg.Rank, cfg.World)
+	}
+	if cfg.Network != "tcp" && cfg.Network != "unix" {
+		return nil, fmt.Errorf("amt: unsupported network %q (want tcp or unix)", cfg.Network)
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		dead:     make([]atomic.Bool, cfg.World),
+		lastBeat: make([]atomic.Int64, cfg.World),
+		startCh:  make(chan struct{}),
+		quit:     make(chan struct{}),
+		conns:    map[net.Conn]struct{}{},
+	}
+	bind := cfg.Addr
+	if cfg.Rank != 0 {
+		bind = workerBindAddr(cfg)
+	}
+	ln, err := net.Listen(cfg.Network, bind)
+	if err != nil {
+		return nil, fmt.Errorf("amt: rank %d listen %s %s: %w", cfg.Rank, cfg.Network, bind, err)
+	}
+	c.ln = ln
+	c.tp = newSocketTransport(c)
+	c.mu.Lock()
+	c.peerAddrs = make([]string, cfg.World)
+	c.peerAddrs[0] = cfg.Addr
+	c.peerAddrs[cfg.Rank] = ln.Addr().String()
+	if cfg.Rank == 0 {
+		c.joined = map[int]*controlConn{}
+	}
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go c.acceptLoop()
+	if cfg.Rank != 0 {
+		if err := c.join(); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// bindSerial uniquifies unix socket paths when several clusters share one
+// process (tests, in-process simulations); pid alone would collide.
+var bindSerial atomic.Int64
+
+// workerBindAddr picks a worker's data-plane listen address: an ephemeral
+// TCP port, or a per-rank socket file next to rank 0's for unix.
+func workerBindAddr(cfg ClusterConfig) string {
+	if cfg.Network == "tcp" {
+		return "127.0.0.1:0"
+	}
+	dir := filepath.Dir(cfg.Addr)
+	return filepath.Join(dir, fmt.Sprintf("dashmm-r%d-%d-%d.sock", cfg.Rank, os.Getpid(), bindSerial.Add(1)))
+}
+
+// OnDeath registers the death-verdict handler (survivor ranks, including
+// rank 0). Register before Start; invoked from a cluster goroutine.
+func (c *Cluster) OnDeath(fn func(rank, epoch int)) { c.onDeath = fn }
+
+// OnShutdown registers the run-complete handler (worker ranks).
+func (c *Cluster) OnShutdown(fn func()) { c.onShutdown = fn }
+
+// OnCoordinatorLost registers the handler for a broken control connection
+// to rank 0 (worker ranks): the coordinator is gone and the run cannot
+// complete.
+func (c *Cluster) OnCoordinatorLost(fn func(err error)) { c.onCoordLost = fn }
+
+// Transport returns the cluster's data-plane transport.
+func (c *Cluster) Transport() *SocketTransport { return c.tp }
+
+// Epoch returns the number of death verdicts issued (rank 0) or processed
+// (workers) so far.
+func (c *Cluster) Epoch() uint32 { return uint32(c.epoch.Load()) }
+
+// Alive reports whether a rank has not been declared dead.
+func (c *Cluster) Alive(rank int) bool { return !c.dead[rank].Load() }
+
+// Rank returns this process's rank.
+func (c *Cluster) Rank() int { return c.cfg.Rank }
+
+// World returns the cluster size.
+func (c *Cluster) World() int { return c.cfg.World }
+
+// join dials rank 0 and runs the worker side of the handshake; the accepted
+// connection becomes the control channel.
+//
+//dashmm:detached workerControlLoop exits when the control conn closes and beatLoop on c.quit; Close closes both and c.wg.Wait joins
+func (c *Cluster) join() error {
+	deadline := time.Now().Add(c.cfg.JoinTimeout)
+	var conn net.Conn
+	var err error
+	backoff := c.cfg.DialBase
+	for {
+		conn, err = net.DialTimeout(c.cfg.Network, c.cfg.Addr, time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("amt: rank %d join %s: %w", c.cfg.Rank, c.cfg.Addr, err)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > c.cfg.DialMax {
+			backoff = c.cfg.DialMax
+		}
+	}
+	cc := &controlConn{conn: conn}
+	hello := &Frame{Kind: ctlHello, Src: c.cfg.Rank, Payload: encodeHello(c.cfg, c.ln.Addr().String())}
+	if err := cc.send(hello); err != nil {
+		conn.Close()
+		return fmt.Errorf("amt: rank %d hello: %w", c.cfg.Rank, err)
+	}
+	conn.SetReadDeadline(time.Now().Add(c.cfg.JoinTimeout))
+	br := bufio.NewReader(conn)
+	resp, err := ReadFrame(br)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("amt: rank %d awaiting welcome: %w", c.cfg.Rank, err)
+	}
+	switch resp.Kind {
+	case ctlWelcome:
+	case ctlReject:
+		conn.Close()
+		return fmt.Errorf("amt: rank %d join rejected: %s", c.cfg.Rank, string(resp.Payload))
+	default:
+		conn.Close()
+		return fmt.Errorf("amt: rank %d unexpected join response kind %#x", c.cfg.Rank, resp.Kind)
+	}
+	conn.SetReadDeadline(time.Time{})
+	c.ctl = cc
+	c.wg.Add(2)
+	go c.workerControlLoop(br)
+	go c.beatLoop()
+	return nil
+}
+
+// Start runs the join barrier: rank 0 waits for the full roster and
+// broadcasts START with the peer address list; workers wait for START.
+// After Start returns successfully the data plane is usable.
+func (c *Cluster) Start() error {
+	if c.cfg.Rank == 0 {
+		deadline := time.NewTimer(c.cfg.JoinTimeout)
+		defer deadline.Stop()
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			c.mu.Lock()
+			n := len(c.joined)
+			c.mu.Unlock()
+			if n == c.cfg.World-1 {
+				break
+			}
+			select {
+			case <-deadline.C:
+				return fmt.Errorf("amt: join barrier timed out with %d/%d workers", n, c.cfg.World-1)
+			case <-c.quit:
+				return fmt.Errorf("amt: cluster closed during join barrier")
+			case <-tick.C:
+			}
+		}
+		c.mu.Lock()
+		c.started = true
+		addrs := append([]string(nil), c.peerAddrs...)
+		conns := make(map[int]*controlConn, len(c.joined))
+		for r, cc := range c.joined {
+			conns[r] = cc
+		}
+		c.mu.Unlock()
+		now := time.Now().UnixNano()
+		for r := range c.lastBeat {
+			c.lastBeat[r].Store(now)
+		}
+		start := &Frame{Kind: ctlStart, Src: 0, Payload: encodeAddrs(addrs)}
+		for r, cc := range conns {
+			if err := cc.send(start); err != nil {
+				return fmt.Errorf("amt: START to rank %d: %w", r, err)
+			}
+		}
+		close(c.startCh)
+		c.tp.setPeers(addrs, c.dead[:])
+		c.wg.Add(1)
+		go c.monitorLoop()
+		return nil
+	}
+	select {
+	case <-c.startCh:
+		return nil
+	case <-c.quit:
+		return fmt.Errorf("amt: cluster closed before START")
+	case <-time.After(c.cfg.JoinTimeout):
+		return fmt.Errorf("amt: rank %d timed out waiting for START", c.cfg.Rank)
+	}
+}
+
+// acceptLoop serves the rank's listener: first frame classifies the
+// connection as a control join (rank 0 only) or a data-plane attach.
+//
+//dashmm:detached joined by Close: close(c.quit) unblocks the loop via listener Close and c.wg.Wait joins it
+func (c *Cluster) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			select {
+			case <-c.quit:
+				return
+			default:
+			}
+			// Transient accept error: keep serving unless shutting down.
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		c.wg.Add(1)
+		go c.serveConn(conn)
+	}
+}
+
+// serveConn classifies and serves one inbound connection.
+//
+//dashmm:detached reader goroutines exit when their conn closes; Close closes every conn and c.wg.Wait joins them
+func (c *Cluster) serveConn(conn net.Conn) {
+	defer c.wg.Done()
+	if !c.trackConn(conn) {
+		conn.Close()
+		return
+	}
+	defer c.untrackConn(conn)
+	// A peer that connects and never completes its preamble must not wedge
+	// the acceptor's bookkeeping: bound the handshake.
+	conn.SetReadDeadline(time.Now().Add(c.cfg.JoinTimeout))
+	br := bufio.NewReaderSize(conn, 64<<10)
+	first, err := ReadFrame(br)
+	if err != nil {
+		c.tp.handshakeFails.Add(1)
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	switch first.Kind {
+	case ctlHello:
+		c.serveJoin(conn, br, first)
+	case ctlAttach:
+		c.serveData(conn, br, first)
+	default:
+		c.tp.handshakeFails.Add(1)
+		conn.Close()
+	}
+}
+
+// serveJoin handles one worker's join request on rank 0.
+//
+//dashmm:detached coordControlLoop exits when its conn closes; Close closes every joined conn and c.wg.Wait joins
+func (c *Cluster) serveJoin(conn net.Conn, br *bufio.Reader, hello Frame) {
+	reject := func(reason string) {
+		c.tp.handshakeFails.Add(1)
+		cc := &controlConn{conn: conn}
+		cc.send(&Frame{Kind: ctlReject, Src: 0, Payload: []byte(reason)})
+		conn.Close()
+	}
+	if c.cfg.Rank != 0 {
+		reject("join sent to a non-coordinator rank")
+		return
+	}
+	rank, world, stamp, addr, err := decodeHello(hello.Payload)
+	if err != nil {
+		reject("malformed hello: " + err.Error())
+		return
+	}
+	if world != c.cfg.World {
+		reject(fmt.Sprintf("world size mismatch: coordinator runs %d, joiner built for %d", c.cfg.World, world))
+		return
+	}
+	if stamp != c.cfg.Stamp {
+		reject(fmt.Sprintf("version stamp mismatch: coordinator %q, joiner %q", c.cfg.Stamp, stamp))
+		return
+	}
+	if rank <= 0 || rank >= c.cfg.World {
+		reject(fmt.Sprintf("rank %d out of range [1,%d)", rank, c.cfg.World))
+		return
+	}
+	c.mu.Lock()
+	// Started outranks duplicate: after START every join attempt — including
+	// a crashed rank's restart — is late, and admitting it would hand it a
+	// stale peer list mid-run.
+	if c.started {
+		c.mu.Unlock()
+		reject("run already started: late joiners are not admitted")
+		return
+	}
+	if _, dup := c.joined[rank]; dup {
+		c.mu.Unlock()
+		reject(fmt.Sprintf("rank %d already joined", rank))
+		return
+	}
+	cc := &controlConn{conn: conn}
+	c.joined[rank] = cc
+	c.peerAddrs[rank] = addr
+	c.mu.Unlock()
+	c.lastBeat[rank].Store(time.Now().UnixNano())
+	if err := cc.send(&Frame{Kind: ctlWelcome, Src: 0}); err != nil {
+		conn.Close()
+		return
+	}
+	c.wg.Add(1)
+	go c.coordControlLoop(rank, br)
+}
+
+// serveData validates a data-plane attach and runs its read loop,
+// delivering decoded frames to the transport sink.
+func (c *Cluster) serveData(conn net.Conn, br *bufio.Reader, attach Frame) {
+	rank, world, stamp, _, err := decodeHello(attach.Payload)
+	if err != nil || world != c.cfg.World || stamp != c.cfg.Stamp ||
+		rank < 0 || rank >= c.cfg.World || c.dead[rank].Load() {
+		c.tp.handshakeFails.Add(1)
+		conn.Close()
+		return
+	}
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			// EOF, truncation or corruption: drop the connection. Whatever
+			// was in flight is wire loss; the peer redials and the delivery
+			// layer retransmits.
+			conn.Close()
+			return
+		}
+		c.tp.noteReceived(FrameHeaderSize + len(f.Payload))
+		c.tp.deliver(f)
+	}
+}
+
+// coordControlLoop is rank 0's per-worker control reader: heartbeats in,
+// silence handled by the monitor.
+//
+//dashmm:detached exits when the worker's control conn closes; Close closes all conns and c.wg.Wait joins
+func (c *Cluster) coordControlLoop(rank int, br *bufio.Reader) {
+	defer c.wg.Done()
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			// The control connection broke. Not an immediate verdict — the
+			// heartbeat monitor owns death declarations — but stop reading.
+			return
+		}
+		if f.Kind == ctlBeat {
+			c.lastBeat[rank].Store(time.Now().UnixNano())
+		}
+	}
+}
+
+// workerControlLoop is the worker-side control reader: START, death
+// verdicts, shutdown; a read error means the coordinator is gone.
+//
+//dashmm:detached exits when the control conn closes; Close closes it and c.wg.Wait joins
+func (c *Cluster) workerControlLoop(br *bufio.Reader) {
+	defer c.wg.Done()
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			select {
+			case <-c.quit:
+				return
+			default:
+			}
+			c.mu.Lock()
+			started := c.started
+			c.mu.Unlock()
+			if started && c.onCoordLost != nil {
+				c.onCoordLost(fmt.Errorf("amt: control connection to rank 0 lost: %w", err))
+			}
+			return
+		}
+		switch f.Kind {
+		case ctlStart:
+			addrs, err := decodeAddrs(f.Payload)
+			if err != nil || len(addrs) != c.cfg.World {
+				if c.onCoordLost != nil {
+					c.onCoordLost(fmt.Errorf("amt: malformed START frame"))
+				}
+				return
+			}
+			c.mu.Lock()
+			already := c.started
+			c.started = true
+			c.peerAddrs = addrs
+			c.mu.Unlock()
+			if !already {
+				c.tp.setPeers(addrs, c.dead[:])
+				close(c.startCh)
+			}
+		case ctlDead:
+			if len(f.Payload) < 6 {
+				continue
+			}
+			rank := int(binary.LittleEndian.Uint16(f.Payload))
+			epoch := int(binary.LittleEndian.Uint32(f.Payload[2:]))
+			c.applyVerdict(rank, epoch)
+		case ctlShutdown:
+			if c.onShutdown != nil {
+				c.onShutdown()
+			}
+		}
+	}
+}
+
+// beatLoop emits the worker's heartbeats to rank 0.
+//
+//dashmm:detached ticker goroutine exits on c.quit; Close closes quit and c.wg.Wait joins
+func (c *Cluster) beatLoop() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.cfg.Heartbeat.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-tick.C:
+			if err := c.ctl.send(&Frame{Kind: ctlBeat, Src: c.cfg.Rank}); err != nil {
+				// The control conn is gone; workerControlLoop reports it.
+				return
+			}
+		}
+	}
+}
+
+// monitorLoop is rank 0's membership detector: a rank whose last heartbeat
+// is older than Interval×MissedBeats is declared dead.
+//
+//dashmm:detached exits on c.quit; Close closes quit and c.wg.Wait joins
+func (c *Cluster) monitorLoop() {
+	defer c.wg.Done()
+	hb := c.cfg.Heartbeat
+	thresh := int64(hb.Interval) * int64(hb.MissedBeats)
+	tick := time.NewTicker(hb.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-tick.C:
+			now := time.Now().UnixNano()
+			for r := 1; r < c.cfg.World; r++ {
+				if c.dead[r].Load() {
+					continue
+				}
+				if now-c.lastBeat[r].Load() > thresh {
+					c.DeclareDead(r)
+				}
+			}
+		}
+	}
+}
+
+// DeclareDead issues a death verdict for a rank (rank 0 only; also the
+// test hook for injected deaths): mark, fence the transport, broadcast the
+// verdict with its epoch to every surviving worker, and run the local
+// OnDeath handler. Idempotent.
+func (c *Cluster) DeclareDead(rank int) {
+	if c.cfg.Rank != 0 || rank <= 0 || rank >= c.cfg.World {
+		return
+	}
+	if !c.dead[rank].CompareAndSwap(false, true) {
+		return
+	}
+	epoch := int(c.epoch.Add(1))
+	c.tp.severPeer(rank)
+	var payload [6]byte
+	binary.LittleEndian.PutUint16(payload[0:], uint16(rank))
+	binary.LittleEndian.PutUint32(payload[2:], uint32(epoch))
+	c.mu.Lock()
+	conns := make(map[int]*controlConn, len(c.joined))
+	for r, cc := range c.joined {
+		if !c.dead[r].Load() {
+			conns[r] = cc
+		}
+	}
+	c.mu.Unlock()
+	f := &Frame{Kind: ctlDead, Src: 0, Payload: payload[:]}
+	for _, cc := range conns {
+		cc.send(f) // a failed send surfaces via that rank's own heartbeat
+	}
+	if c.onDeath != nil {
+		c.onDeath(rank, epoch)
+	}
+}
+
+// applyVerdict processes a death verdict on a worker.
+func (c *Cluster) applyVerdict(rank, epoch int) {
+	if rank < 0 || rank >= c.cfg.World {
+		return
+	}
+	if !c.dead[rank].CompareAndSwap(false, true) {
+		return
+	}
+	c.epoch.Store(int32(epoch))
+	c.tp.severPeer(rank)
+	if c.onDeath != nil {
+		c.onDeath(rank, epoch)
+	}
+}
+
+// Shutdown broadcasts the run-complete signal to every live worker (rank 0
+// only).
+func (c *Cluster) Shutdown() {
+	if c.cfg.Rank != 0 {
+		return
+	}
+	c.mu.Lock()
+	conns := make(map[int]*controlConn, len(c.joined))
+	for r, cc := range c.joined {
+		if !c.dead[r].Load() {
+			conns[r] = cc
+		}
+	}
+	c.mu.Unlock()
+	f := &Frame{Kind: ctlShutdown, Src: 0}
+	for _, cc := range conns {
+		cc.send(f)
+	}
+}
+
+// Close tears the cluster down: listener, control connections, data-plane
+// peers, and every cluster goroutine is stopped and joined.
+func (c *Cluster) Close() error {
+	c.closeMu.Lock()
+	if c.closed {
+		c.closeMu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.closeMu.Unlock()
+	close(c.quit)
+	c.ln.Close()
+	if c.ctl != nil {
+		c.ctl.conn.Close()
+	}
+	c.mu.Lock()
+	for _, cc := range c.joined {
+		cc.conn.Close()
+	}
+	c.mu.Unlock()
+	// Unblock every accepted-connection reader: a peer that never hangs up
+	// (or is this same process, in tests) must not stall the teardown.
+	c.connMu.Lock()
+	c.connsDone = true
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.connMu.Unlock()
+	c.tp.close()
+	c.wg.Wait()
+	return nil
+}
+
+// trackConn registers an accepted connection for teardown; false means the
+// cluster is already closing and the conn must not be served.
+func (c *Cluster) trackConn(conn net.Conn) bool {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.connsDone {
+		return false
+	}
+	c.conns[conn] = struct{}{}
+	return true
+}
+
+func (c *Cluster) untrackConn(conn net.Conn) {
+	c.connMu.Lock()
+	delete(c.conns, conn)
+	c.connMu.Unlock()
+}
+
+// encodeHello serializes a join/attach preamble.
+func encodeHello(cfg ClusterConfig, listenAddr string) []byte {
+	buf := make([]byte, 0, 8+len(cfg.Stamp)+len(listenAddr))
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], uint16(cfg.Rank))
+	buf = append(buf, u16[:]...)
+	binary.LittleEndian.PutUint16(u16[:], uint16(cfg.World))
+	buf = append(buf, u16[:]...)
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(cfg.Stamp)))
+	buf = append(buf, u16[:]...)
+	buf = append(buf, cfg.Stamp...)
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(listenAddr)))
+	buf = append(buf, u16[:]...)
+	buf = append(buf, listenAddr...)
+	return buf
+}
+
+func decodeHello(b []byte) (rank, world int, stamp, addr string, err error) {
+	get16 := func() (int, bool) {
+		if len(b) < 2 {
+			return 0, false
+		}
+		v := int(binary.LittleEndian.Uint16(b))
+		b = b[2:]
+		return v, true
+	}
+	getStr := func() (string, bool) {
+		n, ok := get16()
+		if !ok || len(b) < n {
+			return "", false
+		}
+		s := string(b[:n])
+		b = b[n:]
+		return s, true
+	}
+	var ok bool
+	if rank, ok = get16(); !ok {
+		return 0, 0, "", "", fmt.Errorf("short hello (rank)")
+	}
+	if world, ok = get16(); !ok {
+		return 0, 0, "", "", fmt.Errorf("short hello (world)")
+	}
+	if stamp, ok = getStr(); !ok {
+		return 0, 0, "", "", fmt.Errorf("short hello (stamp)")
+	}
+	if addr, ok = getStr(); !ok {
+		return 0, 0, "", "", fmt.Errorf("short hello (addr)")
+	}
+	return rank, world, stamp, addr, nil
+}
+
+// encodeAddrs serializes the START peer-address list.
+func encodeAddrs(addrs []string) []byte {
+	var buf []byte
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(addrs)))
+	buf = append(buf, u16[:]...)
+	for _, a := range addrs {
+		binary.LittleEndian.PutUint16(u16[:], uint16(len(a)))
+		buf = append(buf, u16[:]...)
+		buf = append(buf, a...)
+	}
+	return buf
+}
+
+func decodeAddrs(b []byte) ([]string, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("short address list")
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("short address list entry")
+		}
+		l := int(binary.LittleEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < l {
+			return nil, fmt.Errorf("short address list entry")
+		}
+		addrs = append(addrs, string(b[:l]))
+		b = b[l:]
+	}
+	return addrs, nil
+}

@@ -1,0 +1,141 @@
+package amt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The wire frame codec for multi-process parcel transport (DESIGN.md,
+// "Distribution"). Framing is hand-rolled and length-prefixed: a fixed
+// 32-byte header carrying a magic tag, a codec version, the message
+// metadata the delivery layer needs (src/dst rank, sequence number, ack
+// flag, recovery epoch, payload kind) and a CRC32 over header+payload, then
+// the payload bytes. The decoder errors — never panics, never hangs — on a
+// truncated, corrupted or oversized frame; the transport reacts by dropping
+// the connection, which the delivery layer experiences as wire loss.
+//
+// Layout (little endian):
+//
+//	off  size  field
+//	0    4     magic "DMM1"
+//	4    1     codec version
+//	5    1     flags (bit 0: ack)
+//	6    2     kind  (payload type tag, app-defined)
+//	8    2     src rank
+//	10   2     dst rank
+//	12   4     recovery epoch
+//	16   8     sequence number
+//	24   4     payload length
+//	28   4     CRC32 (IEEE) over header[0:28] + payload
+//	32   ...   payload
+
+const (
+	frameMagic   = 0x444d4d31 // "DMM1"
+	CodecVersion = 1
+	// FrameHeaderSize is the fixed frame header length in bytes.
+	FrameHeaderSize = 32
+	// MaxFramePayload bounds a single frame's payload so a corrupted or
+	// hostile length field cannot make the decoder allocate absurd buffers.
+	MaxFramePayload = 1 << 28 // 256 MiB
+)
+
+// Frame flags.
+const (
+	// FlagAck marks a delivery-layer acknowledgment frame.
+	FlagAck = 1 << 0
+)
+
+// Codec decode errors. Truncations surface as io.ErrUnexpectedEOF wrapped
+// with position context.
+var (
+	ErrBadMagic     = errors.New("amt: bad frame magic")
+	ErrBadVersion   = errors.New("amt: frame codec version mismatch")
+	ErrBadChecksum  = errors.New("amt: frame checksum mismatch")
+	ErrFrameTooBig  = errors.New("amt: frame payload exceeds limit")
+	errShortPayload = errors.New("amt: truncated frame payload")
+)
+
+// Frame is one decoded wire message: the delivery-layer metadata plus the
+// opaque typed payload. It is the wire form of Message for transports that
+// cross a process boundary.
+type Frame struct {
+	Kind     uint16
+	Flags    uint8
+	Src, Dst int
+	Epoch    uint32
+	Seq      uint64
+	Payload  []byte
+}
+
+// Ack reports whether the frame is a delivery-layer acknowledgment.
+func (f *Frame) Ack() bool { return f.Flags&FlagAck != 0 }
+
+// AppendFrame encodes the frame onto dst and returns the extended slice.
+func AppendFrame(dst []byte, f *Frame) []byte {
+	base := len(dst)
+	dst = append(dst, make([]byte, FrameHeaderSize)...)
+	h := dst[base:]
+	binary.LittleEndian.PutUint32(h[0:], frameMagic)
+	h[4] = CodecVersion
+	h[5] = f.Flags
+	binary.LittleEndian.PutUint16(h[6:], f.Kind)
+	binary.LittleEndian.PutUint16(h[8:], uint16(f.Src))
+	binary.LittleEndian.PutUint16(h[10:], uint16(f.Dst))
+	binary.LittleEndian.PutUint32(h[12:], f.Epoch)
+	binary.LittleEndian.PutUint64(h[16:], f.Seq)
+	binary.LittleEndian.PutUint32(h[24:], uint32(len(f.Payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(h[0:28])
+	crc.Write(f.Payload)
+	binary.LittleEndian.PutUint32(h[28:], crc.Sum32())
+	return append(dst, f.Payload...)
+}
+
+// ReadFrame decodes one frame from the stream. A clean EOF before the first
+// header byte returns io.EOF; any mid-frame truncation returns an error
+// wrapping io.ErrUnexpectedEOF. The returned payload is freshly allocated
+// (the frame owns it).
+func ReadFrame(br *bufio.Reader) (Frame, error) {
+	var h [FrameHeaderSize]byte
+	if _, err := io.ReadFull(br, h[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("amt: truncated frame header: %w", io.ErrUnexpectedEOF)
+	}
+	if binary.LittleEndian.Uint32(h[0:]) != frameMagic {
+		return Frame{}, ErrBadMagic
+	}
+	if h[4] != CodecVersion {
+		return Frame{}, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, h[4], CodecVersion)
+	}
+	plen := binary.LittleEndian.Uint32(h[24:])
+	if plen > MaxFramePayload {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, plen)
+	}
+	f := Frame{
+		Flags: h[5],
+		Kind:  binary.LittleEndian.Uint16(h[6:]),
+		Src:   int(binary.LittleEndian.Uint16(h[8:])),
+		Dst:   int(binary.LittleEndian.Uint16(h[10:])),
+		Epoch: binary.LittleEndian.Uint32(h[12:]),
+		Seq:   binary.LittleEndian.Uint64(h[16:]),
+	}
+	if plen > 0 {
+		f.Payload = make([]byte, plen)
+		if _, err := io.ReadFull(br, f.Payload); err != nil {
+			return Frame{}, fmt.Errorf("%w: %w", errShortPayload, io.ErrUnexpectedEOF)
+		}
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(h[0:28])
+	crc.Write(f.Payload)
+	if crc.Sum32() != binary.LittleEndian.Uint32(h[28:]) {
+		return Frame{}, ErrBadChecksum
+	}
+	return f, nil
+}

@@ -68,6 +68,14 @@ type TransportStats struct {
 	// Wire faults (from Transport.Stats).
 	Dropped    int64
 	Duplicated int64
+	// Wire volume and connection health (from Transport.Stats): messages and
+	// bytes actually carried (modeled bytes on in-process wires, encoded
+	// frame bytes on socket wires), plus the socket transport's reconnect and
+	// rejected-handshake counters.
+	WireMessages      int64
+	BytesOut, BytesIn int64
+	Reconnects        int64
+	HandshakeFailures int64
 }
 
 // pairKey identifies one directed (src, dst) parcel channel.
@@ -131,8 +139,14 @@ func newDelivery(rt *Runtime, wire Transport, cfg DeliveryConfig, seed int64) *d
 		unacked:  make(map[pairKey]map[uint64]*sendEntry),
 		seen:     make(map[pairKey]map[uint64]bool),
 	}
-	if rt.killable {
-		d.dead = make([]atomic.Bool, rt.cfg.Localities)
+	if rt.killable || rt.cfg.World > 1 {
+		// Wire mode fences by global rank, so the dead table spans the world
+		// even though only one locality lives in this process.
+		n := rt.cfg.Localities
+		if rt.cfg.World > n {
+			n = rt.cfg.World
+		}
+		d.dead = make([]atomic.Bool, n)
 	}
 	return d
 }
@@ -187,16 +201,21 @@ func (d *delivery) rankDead(rank int32) bool {
 func (d *delivery) stats() TransportStats {
 	w := d.wire.Stats()
 	return TransportStats{
-		Sent:             d.sent.Load(),
-		Retried:          d.retried.Load(),
-		Acked:            d.acked.Load(),
-		DeadlineExceeded: d.deadlineExceeded.Load(),
-		Delivered:        d.delivered.Load(),
-		Deduped:          d.deduped.Load(),
-		Severed:          d.severed.Load(),
-		LateDrops:        d.lateDrops.Load(),
-		Dropped:          w.Dropped,
-		Duplicated:       w.Duplicated,
+		Sent:              d.sent.Load(),
+		Retried:           d.retried.Load(),
+		Acked:             d.acked.Load(),
+		DeadlineExceeded:  d.deadlineExceeded.Load(),
+		Delivered:         d.delivered.Load(),
+		Deduped:           d.deduped.Load(),
+		Severed:           d.severed.Load(),
+		LateDrops:         d.lateDrops.Load(),
+		Dropped:           w.Dropped,
+		Duplicated:        w.Duplicated,
+		WireMessages:      w.Messages,
+		BytesOut:          w.BytesOut,
+		BytesIn:           w.BytesIn,
+		Reconnects:        w.Reconnects,
+		HandshakeFailures: w.HandshakeFailures,
 	}
 }
 

@@ -1,0 +1,302 @@
+package amt
+
+import (
+	"bufio"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SocketTransport is the multi-process data plane: a mesh of TCP or
+// unix-domain connections between ranks, implementing the same Transport
+// interface as the in-process wires. Each peer gets a dedicated writer
+// goroutine draining a bounded outbound queue, so sends never block the
+// scheduler and consecutive frames to the same destination coalesce into
+// one buffered write + flush (the per-destination batching seam from the
+// executor extends down to the syscall layer). Connections are asymmetric:
+// a dialed connection is write-only (its first frame is an ATTACH preamble
+// carrying rank/world/stamp), an accepted connection is read-only (served
+// by Cluster.serveData). Dialing retries with exponential backoff and
+// jitter; a broken or unavailable connection is never an error surfaced to
+// the caller — queued and in-flight frames are simply lost, which the
+// delivery layer (delivery.go) observes as wire loss and repairs with
+// seq/ack/retransmit. Reliable() is therefore false by construction.
+type SocketTransport struct {
+	cl *Cluster
+
+	mu    sync.Mutex
+	peers []*peerLink // guarded by mu until setPeers, immutable after
+
+	sink atomic.Pointer[func(Frame)]
+
+	dropped        atomic.Int64
+	messages       atomic.Int64
+	bytesOut       atomic.Int64
+	bytesIn        atomic.Int64
+	reconnects     atomic.Int64
+	handshakeFails atomic.Int64
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// peerLink is the outbound half of one rank↔rank edge: a bounded queue of
+// encoded frames drained by a single writer goroutine.
+type peerLink struct {
+	rank int
+	addr string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte // guarded by mu
+	qbytes int      // guarded by mu
+	dead   bool     // guarded by mu: rank declared dead, stop dialing
+	closed bool     // guarded by mu: transport shutting down
+}
+
+func newSocketTransport(cl *Cluster) *SocketTransport {
+	return &SocketTransport{cl: cl}
+}
+
+// Name implements Transport.
+func (t *SocketTransport) Name() string { return t.cl.cfg.Network }
+
+// Reliable implements Transport: sockets lose whatever a broken connection
+// had queued or in flight, so the delivery layer must engage.
+func (t *SocketTransport) Reliable() bool { return false }
+
+// Stats implements Transport.
+func (t *SocketTransport) Stats() WireStats {
+	return WireStats{
+		Dropped:           t.dropped.Load(),
+		Messages:          t.messages.Load(),
+		BytesOut:          t.bytesOut.Load(),
+		BytesIn:           t.bytesIn.Load(),
+		Reconnects:        t.reconnects.Load(),
+		HandshakeFailures: t.handshakeFails.Load(),
+	}
+}
+
+// OnFrame registers the inbound frame handler. Frames decoded from peer
+// connections are handed to fn on the reader goroutine; fn must not block
+// indefinitely.
+func (t *SocketTransport) OnFrame(fn func(Frame)) { t.sink.Store(&fn) }
+
+func (t *SocketTransport) deliver(f Frame) {
+	if fn := t.sink.Load(); fn != nil {
+		(*fn)(f)
+	}
+}
+
+func (t *SocketTransport) noteReceived(n int) { t.bytesIn.Add(int64(n)) }
+
+// setPeers installs the data-plane address list at START and spawns one
+// writer goroutine per remote peer.
+//
+//dashmm:detached writer goroutines exit when their link is closed; close() closes every link and t.wg.Wait joins them
+func (t *SocketTransport) setPeers(addrs []string, dead []atomic.Bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.peers != nil {
+		return
+	}
+	t.peers = make([]*peerLink, len(addrs))
+	for r, addr := range addrs {
+		if r == t.cl.cfg.Rank {
+			continue
+		}
+		p := &peerLink{rank: r, addr: addr, dead: dead[r].Load()}
+		p.cond = sync.NewCond(&p.mu)
+		t.peers[r] = p
+		t.wg.Add(1)
+		go t.writerLoop(p)
+	}
+}
+
+// Send implements Transport: encode the message as a wire frame and queue
+// it on the destination's link. Unknown destinations, dead peers, a full
+// queue, and a not-yet-started mesh all count as wire loss.
+func (t *SocketTransport) Send(m Message) {
+	f := Frame{
+		Kind:    m.Kind,
+		Src:     m.Src,
+		Dst:     m.Dst,
+		Epoch:   m.Epoch,
+		Seq:     m.Seq,
+		Payload: m.Payload,
+	}
+	if m.Ack {
+		f.Flags |= FlagAck
+	}
+	enc := AppendFrame(nil, &f)
+	t.messages.Add(1)
+	t.mu.Lock()
+	var p *peerLink
+	if m.Dst >= 0 && m.Dst < len(t.peers) {
+		p = t.peers[m.Dst]
+	}
+	t.mu.Unlock()
+	if p == nil {
+		t.dropped.Add(1)
+		return
+	}
+	p.mu.Lock()
+	if p.dead || p.closed || len(p.queue) >= t.cl.cfg.MaxQueue {
+		p.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	p.queue = append(p.queue, enc)
+	p.qbytes += len(enc)
+	p.mu.Unlock()
+	p.cond.Signal()
+	t.bytesOut.Add(int64(len(enc)))
+}
+
+// severPeer marks a rank dead: its queue is discarded and its writer stops
+// dialing the corpse and exits.
+func (t *SocketTransport) severPeer(rank int) {
+	t.mu.Lock()
+	var p *peerLink
+	if t.peers != nil && rank >= 0 && rank < len(t.peers) {
+		p = t.peers[rank]
+	}
+	t.mu.Unlock()
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.dead = true
+	t.dropped.Add(int64(len(p.queue)))
+	p.queue = nil
+	p.qbytes = 0
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// close stops every writer goroutine and joins them (called by
+// Cluster.Close).
+func (t *SocketTransport) close() {
+	if !t.closed.CompareAndSwap(false, true) {
+		return
+	}
+	t.mu.Lock()
+	peers := t.peers
+	t.mu.Unlock()
+	for _, p := range peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		p.closed = true
+		p.queue = nil
+		p.qbytes = 0
+		p.mu.Unlock()
+		p.cond.Broadcast()
+	}
+	t.wg.Wait()
+}
+
+// writerLoop owns one peer's connection: dial (with backoff + jitter, and
+// an ATTACH preamble announcing who we are), then drain the queue in
+// batches — one bufio flush per batch, so bursts of frames to the same
+// destination coalesce into few syscalls. On a write error the connection
+// is dropped and redialed; the batch that failed is lost (wire loss, the
+// delivery layer retransmits).
+func (t *SocketTransport) writerLoop(p *peerLink) {
+	defer t.wg.Done()
+	rng := rand.New(rand.NewSource(int64(t.cl.cfg.Rank)*1_000_003 + int64(p.rank)*7919 + 1))
+	var conn net.Conn
+	var bw *bufio.Writer
+	dropConn := func() {
+		if conn != nil {
+			conn.Close()
+			conn, bw = nil, nil
+		}
+	}
+	defer dropConn()
+	everConnected := false
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed && !p.dead {
+			p.cond.Wait()
+		}
+		if p.closed || p.dead {
+			t.dropped.Add(int64(len(p.queue)))
+			p.queue = nil
+			p.qbytes = 0
+			p.mu.Unlock()
+			return
+		}
+		batch := p.queue
+		p.queue = nil
+		p.qbytes = 0
+		p.mu.Unlock()
+
+		if conn == nil {
+			conn = t.dialPeer(p, rng)
+			if conn == nil {
+				// Link closed or peer declared dead while dialing: the batch
+				// is lost.
+				t.dropped.Add(int64(len(batch)))
+				continue
+			}
+			if everConnected {
+				t.reconnects.Add(1)
+			}
+			everConnected = true
+			bw = bufio.NewWriterSize(conn, 256<<10)
+			attach := &Frame{Kind: ctlAttach, Src: t.cl.cfg.Rank, Dst: p.rank,
+				Payload: encodeHello(t.cl.cfg, "")}
+			if _, err := bw.Write(AppendFrame(nil, attach)); err != nil {
+				dropConn()
+				t.dropped.Add(int64(len(batch)))
+				continue
+			}
+		}
+		ok := true
+		for _, enc := range batch {
+			if _, err := bw.Write(enc); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			ok = bw.Flush() == nil
+		}
+		if !ok {
+			// The peer hung up or the pipe broke mid-batch: everything
+			// buffered or in flight may be gone. Count the whole batch as
+			// dropped and redial on the next one.
+			dropConn()
+			t.dropped.Add(int64(len(batch)))
+		}
+	}
+}
+
+// dialPeer connects to a peer with exponential backoff and jitter,
+// returning nil once the link is closed or the peer is declared dead.
+func (t *SocketTransport) dialPeer(p *peerLink, rng *rand.Rand) net.Conn {
+	backoff := t.cl.cfg.DialBase
+	for {
+		p.mu.Lock()
+		stop := p.closed || p.dead
+		p.mu.Unlock()
+		if stop {
+			return nil
+		}
+		conn, err := net.DialTimeout(t.cl.cfg.Network, p.addr, time.Second)
+		if err == nil {
+			return conn
+		}
+		// Full jitter on the current backoff step keeps simultaneous
+		// redials from synchronizing against one recovering peer.
+		sleep := backoff + time.Duration(rng.Int63n(int64(backoff)+1))
+		time.Sleep(sleep)
+		if backoff *= 2; backoff > t.cl.cfg.DialMax {
+			backoff = t.cl.cfg.DialMax
+		}
+	}
+}

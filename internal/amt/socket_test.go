@@ -1,0 +1,378 @@
+package amt
+
+import (
+	"bufio"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testClusterConfig builds one rank's config for an in-process unix-socket
+// cluster rooted in dir.
+func testClusterConfig(dir string, rank, world int) ClusterConfig {
+	return ClusterConfig{
+		Rank: rank, World: world,
+		Network: "unix",
+		Addr:    filepath.Join(dir, "rank0.sock"),
+		Stamp:   "test-stamp-v1",
+	}
+}
+
+// startTestCluster brings up a full world of in-process clusters: rank 0
+// first (it must be accepting before workers dial), workers concurrently
+// (their NewCluster blocks in the join handshake), then the Start barrier
+// everywhere. reg, when non-nil, registers callbacks on each cluster before
+// Start (the documented registration window).
+func startTestCluster(t *testing.T, dir string, world int, mut func(*ClusterConfig), reg func(rank int, c *Cluster)) []*Cluster {
+	t.Helper()
+	cls := make([]*Cluster, world)
+	cfg0 := testClusterConfig(dir, 0, world)
+	if mut != nil {
+		mut(&cfg0)
+	}
+	c0, err := NewCluster(cfg0)
+	if err != nil {
+		t.Fatalf("rank 0: %v", err)
+	}
+	cls[0] = c0
+	var wg sync.WaitGroup
+	errs := make([]error, world)
+	for r := 1; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cfg := testClusterConfig(dir, r, world)
+			if mut != nil {
+				mut(&cfg)
+			}
+			cls[r], errs[r] = NewCluster(cfg)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if reg != nil {
+		for r, c := range cls {
+			reg(r, c)
+		}
+	}
+	for r := world - 1; r >= 0; r-- {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = cls[r].Start()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d start: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, c := range cls {
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+	return cls
+}
+
+// Frames sent over the data plane arrive at the addressed rank, and the
+// byte/message counters move on both ends.
+func TestClusterDataPlane(t *testing.T) {
+	cls := startTestCluster(t, t.TempDir(), 3, nil, nil)
+	type rx struct {
+		mu     sync.Mutex
+		frames []Frame
+	}
+	sinks := make([]*rx, 3)
+	for r, c := range cls {
+		s := &rx{}
+		sinks[r] = s
+		c.Transport().OnFrame(func(f Frame) {
+			s.mu.Lock()
+			s.frames = append(s.frames, f)
+			s.mu.Unlock()
+		})
+	}
+	sends := []struct {
+		src, dst int
+		payload  string
+	}{
+		{0, 1, "zero to one"},
+		{1, 2, "one to two"},
+		{2, 0, "two to zero"},
+		{1, 0, "one to zero"},
+	}
+	for _, s := range sends {
+		cls[s.src].Transport().Send(Message{
+			Src: s.src, Dst: s.dst, Seq: 1, Kind: 7, Payload: []byte(s.payload),
+		})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for _, s := range sends {
+		for {
+			sinks[s.dst].mu.Lock()
+			var found bool
+			for _, f := range sinks[s.dst].frames {
+				if f.Src == s.src && string(f.Payload) == s.payload {
+					found = true
+				}
+			}
+			sinks[s.dst].mu.Unlock()
+			if found {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("frame %d→%d never arrived", s.src, s.dst)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	st := cls[1].Transport().Stats()
+	if st.Messages < 2 || st.BytesOut == 0 {
+		t.Fatalf("rank 1 outbound counters did not move: %+v", st)
+	}
+	if st.BytesIn == 0 {
+		t.Fatalf("rank 1 inbound byte counter did not move: %+v", st)
+	}
+}
+
+// A joiner built from different sources (different stamp) is rejected with
+// the reason on the wire.
+func TestJoinWrongStampRejected(t *testing.T) {
+	dir := t.TempDir()
+	c0, err := NewCluster(testClusterConfig(dir, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	cfg := testClusterConfig(dir, 1, 2)
+	cfg.Stamp = "some-other-build"
+	_, err = NewCluster(cfg)
+	if err == nil || !strings.Contains(err.Error(), "stamp") {
+		t.Fatalf("want stamp-mismatch rejection, got %v", err)
+	}
+}
+
+// A second process claiming an already-joined rank is turned away.
+func TestJoinDuplicateRankRejected(t *testing.T) {
+	dir := t.TempDir()
+	c0, err := NewCluster(testClusterConfig(dir, 0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c1, err := NewCluster(testClusterConfig(dir, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	_, err = NewCluster(testClusterConfig(dir, 1, 3))
+	if err == nil || !strings.Contains(err.Error(), "already joined") {
+		t.Fatalf("want duplicate-rank rejection, got %v", err)
+	}
+}
+
+// Once the run has started no join is admitted — including a crashed rank
+// trying to rejoin under its old id.
+func TestJoinAfterStartRejected(t *testing.T) {
+	dir := t.TempDir()
+	cls := startTestCluster(t, dir, 2, nil, nil)
+	_ = cls
+	_, err := NewCluster(testClusterConfig(dir, 1, 2))
+	if err == nil || !strings.Contains(err.Error(), "already started") {
+		t.Fatalf("want late-join rejection, got %v", err)
+	}
+}
+
+// A world-size mismatch is a config error, not a hang.
+func TestJoinWorldMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	c0, err := NewCluster(testClusterConfig(dir, 0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	cfg := testClusterConfig(dir, 1, 3)
+	cfg.World = 2
+	// Rank 1 is valid in both worlds; only the world field disagrees.
+	_, err = NewCluster(cfg)
+	if err == nil || !strings.Contains(err.Error(), "world size mismatch") {
+		t.Fatalf("want world-mismatch rejection, got %v", err)
+	}
+}
+
+// Garbage, truncated preambles and unexpected frame kinds on the listener
+// are counted and dropped without wedging the acceptor: a well-formed join
+// still succeeds afterwards.
+func TestHandshakeJunkDoesNotWedgeAcceptor(t *testing.T) {
+	dir := t.TempDir()
+	cfg0 := testClusterConfig(dir, 0, 2)
+	cfg0.JoinTimeout = 2 * time.Second // bound the half-open preamble reads
+	c0, err := NewCluster(cfg0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+
+	// Pure garbage: decodes as a bad magic.
+	conn, err := net.Dial("unix", cfg0.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("this is not a frame at all, not even close......"))
+	conn.Close()
+
+	// A frame truncated mid-header.
+	f := Frame{Kind: ctlHello, Src: 1, Payload: encodeHello(testClusterConfig(dir, 1, 2), "x")}
+	enc := AppendFrame(nil, &f)
+	conn, err = net.Dial("unix", cfg0.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write(enc[:FrameHeaderSize/2])
+	conn.Close()
+
+	// A valid frame of an unexpected kind.
+	g := Frame{Kind: 0x0042, Src: 1}
+	conn, err = net.Dial("unix", cfg0.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write(AppendFrame(nil, &g))
+	conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for c0.Transport().Stats().HandshakeFailures < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("handshake failures = %d, want >= 3", c0.Transport().Stats().HandshakeFailures)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The acceptor still serves a real join.
+	c1, err := NewCluster(testClusterConfig(dir, 1, 2))
+	if err != nil {
+		t.Fatalf("valid join after junk: %v", err)
+	}
+	defer c1.Close()
+}
+
+// A rank that goes silent (its process died) is detected over the real wire
+// by rank 0's heartbeat monitor, and the verdict reaches every survivor.
+func TestHeartbeatDeathDetection(t *testing.T) {
+	fast := func(cfg *ClusterConfig) {
+		cfg.Heartbeat = FailureDetectorConfig{Interval: 10 * time.Millisecond, MissedBeats: 4}
+	}
+	verdicts := make(chan [2]int, 4)
+	cls := startTestCluster(t, t.TempDir(), 3, fast, func(rank int, c *Cluster) {
+		if rank < 2 {
+			r := rank
+			c.OnDeath(func(dead, epoch int) { verdicts <- [2]int{r, dead} })
+		}
+	})
+
+	// Rank 2 "dies": its heartbeats stop, its sockets close.
+	cls[2].Close()
+	cls[2] = nil
+
+	want := map[int]bool{0: false, 1: false}
+	deadline := time.After(5 * time.Second)
+	for !want[0] || !want[1] {
+		select {
+		case v := <-verdicts:
+			if v[1] != 2 {
+				t.Fatalf("rank %d got verdict for rank %d, want 2", v[0], v[1])
+			}
+			want[v[0]] = true
+		case <-deadline:
+			t.Fatalf("verdicts seen: rank0=%v rank1=%v", want[0], want[1])
+		}
+	}
+	if cls[0].Alive(2) || cls[1].Alive(2) {
+		t.Fatal("rank 2 still marked alive after the verdict")
+	}
+	if cls[0].Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", cls[0].Epoch())
+	}
+}
+
+// A broken data-plane connection is redialed (with a fresh ATTACH preamble)
+// and counted as a reconnect; frames lost with the old connection surface
+// as wire loss, not as an error.
+func TestWriterReconnect(t *testing.T) {
+	cl := &Cluster{cfg: testClusterConfig(t.TempDir(), 1, 2).withDefaults()}
+	cl.cfg.Network = "tcp"
+	tp := newSocketTransport(cl)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	defer tp.close()
+
+	attaches := make(chan Frame, 4)
+	//dashmm:detached acceptor exits when the listener closes (deferred above)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			//dashmm:detached per-conn reader exits on its conn's EOF; the test closes the first conn itself and tp.close tears down the rest
+			go func(conn net.Conn) {
+				br := bufio.NewReader(conn)
+				first, err := ReadFrame(br)
+				if err != nil {
+					conn.Close()
+					return
+				}
+				attaches <- first
+				// Read one data frame, then hang up mid-stream: everything
+				// the writer had queued or in flight is lost.
+				if _, err := ReadFrame(br); err == nil {
+					conn.Close()
+					return
+				}
+				conn.Close()
+			}(conn)
+		}
+	}()
+
+	var dead [2]atomic.Bool
+	tp.setPeers([]string{ln.Addr().String(), ""}, dead[:])
+
+	// The writer dials lazily — the ATTACH preamble rides ahead of the first
+	// queued batch — so keep offering frames until both the initial attach
+	// and, after the acceptor hangs up mid-stream, the re-attach arrive.
+	deadline := time.Now().Add(10 * time.Second)
+	var seq uint64
+	for seen := 0; seen < 2; {
+		seq++
+		tp.Send(Message{Src: 1, Dst: 0, Seq: seq, Kind: 7, Payload: []byte("probe")})
+		select {
+		case f := <-attaches:
+			if f.Kind != ctlAttach {
+				t.Fatalf("preamble frame kind %#x, want ATTACH", f.Kind)
+			}
+			seen++
+		case <-time.After(5 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("saw %d attaches, no reconnect; stats %+v", seen, tp.Stats())
+		}
+	}
+	if got := tp.Stats().Reconnects; got < 1 {
+		t.Fatalf("Reconnects = %d, want >= 1", got)
+	}
+}

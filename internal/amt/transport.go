@@ -21,19 +21,46 @@ import (
 // sender. Deliver runs when the message "arrives"; a Transport may invoke it
 // zero times (drop), once, or several times (duplication), possibly delayed
 // and out of order with respect to other messages.
+//
+// In-process transports carry the action as the Deliver closure and Bytes is
+// a modeled payload size. A multi-process transport (SocketTransport) cannot
+// ship a closure: such messages instead carry a typed, encoded Payload plus
+// its Kind tag (see codec.go), and the receiving process reconstructs the
+// action through the runtime's registered wire handler.
 type Message struct {
 	Src, Dst int
 	Bytes    int
 	Seq      uint64
 	Ack      bool
 	Deliver  func()
+	// Kind tags the encoded payload type for wire transports; Payload is the
+	// encoded bytes. Both are nil/zero for in-process closure delivery.
+	Kind    uint16
+	Epoch   uint32
+	Payload []byte
 }
 
-// WireStats counts the faults a Transport injected.
+// WireStats counts what a Transport did to the messages it carried: the
+// injected or genuine faults (dropped, duplicated, delayed) plus the carried
+// traffic itself. In-process transports report modeled byte counts (the
+// Message.Bytes field); socket transports report real encoded frame bytes,
+// so amt.Stats/ExecReport byte totals stay meaningful on both wires.
 type WireStats struct {
 	Dropped    int64
 	Duplicated int64
 	Delayed    int64
+	// Messages counts messages handed to the wire (data + acks, before
+	// faults). BytesOut is the total outbound payload volume: modeled bytes
+	// for in-process transports, encoded frame bytes for socket transports.
+	// BytesIn counts received frame bytes (zero for in-process transports,
+	// whose deliveries never cross an encode/decode boundary).
+	Messages int64
+	BytesOut int64
+	BytesIn  int64
+	// Reconnects counts re-established peer connections and
+	// HandshakeFailures rejected connection attempts (socket transports).
+	Reconnects        int64
+	HandshakeFailures int64
 }
 
 // Transport is the pluggable wire between localities.
@@ -56,6 +83,9 @@ type Transport interface {
 // message arrives exactly once, optionally after a fixed injected latency.
 type PerfectTransport struct {
 	Latency time.Duration
+
+	messages atomic.Int64
+	bytesOut atomic.Int64
 }
 
 // Name implements Transport.
@@ -64,11 +94,22 @@ func (t *PerfectTransport) Name() string { return "perfect" }
 // Reliable implements Transport.
 func (t *PerfectTransport) Reliable() bool { return true }
 
-// Stats implements Transport.
-func (t *PerfectTransport) Stats() WireStats { return WireStats{} }
+// Stats implements Transport: the perfect wire injects no faults but still
+// accounts the (modeled) traffic it carried. Note the zero-latency perfect
+// wire is bypassed entirely by the delivery fast path, so these counters
+// only move when Latency > 0; the runtime-level ParcelBytes counter covers
+// the fast path.
+func (t *PerfectTransport) Stats() WireStats {
+	return WireStats{
+		Messages: t.messages.Load(),
+		BytesOut: t.bytesOut.Load(),
+	}
+}
 
 // Send implements Transport.
 func (t *PerfectTransport) Send(m Message) {
+	t.messages.Add(1)
+	t.bytesOut.Add(int64(m.Bytes))
 	if t.Latency > 0 {
 		time.AfterFunc(t.Latency, m.Deliver)
 		return
@@ -115,6 +156,8 @@ type FaultyTransport struct {
 	dropped    atomic.Int64
 	duplicated atomic.Int64
 	delayed    atomic.Int64
+	messages   atomic.Int64
+	bytesOut   atomic.Int64
 }
 
 // NewFaultyTransport builds a transport injecting the profile's faults.
@@ -140,6 +183,8 @@ func (t *FaultyTransport) Stats() WireStats {
 		Dropped:    t.dropped.Load(),
 		Duplicated: t.duplicated.Load(),
 		Delayed:    t.delayed.Load(),
+		Messages:   t.messages.Load(),
+		BytesOut:   t.bytesOut.Load(),
 	}
 }
 
@@ -147,6 +192,8 @@ func (t *FaultyTransport) Stats() WireStats {
 // or single delivery) and a delay for each surviving copy, then schedule the
 // deliveries.
 func (t *FaultyTransport) Send(m Message) {
+	t.messages.Add(1)
+	t.bytesOut.Add(int64(m.Bytes))
 	var delays [2]time.Duration
 	t.mu.Lock()
 	copies := 1

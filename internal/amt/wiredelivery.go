@@ -1,0 +1,189 @@
+package amt
+
+import (
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Wire-mode parcel delivery: the frame-carrying counterpart of delivery.go's
+// closure path, used when Config.World > 1. A wire parcel cannot ship a
+// closure across the process boundary, so the sender hands the delivery
+// layer an encoded payload plus its kind tag; the payload is retained by the
+// sender-side entry so retransmission re-emits the identical frame, and the
+// receiving process routes decoded frames through the runtime's registered
+// wire handler. Sequence numbering, receiver dedup, acks, exponential
+// backoff + jitter, the delivery deadline, and rank severing are all the
+// same machinery as the in-process unreliable path — a broken socket is
+// just another lossy wire.
+
+// WireHandler consumes one deduplicated inbound data frame on a scheduler
+// worker of the local locality.
+type WireHandler func(w *Worker, f Frame)
+
+// OnWire registers the inbound data-frame handler (wire mode). Must be set
+// before frames can arrive, i.e. before the cluster's data plane starts.
+func (rt *Runtime) OnWire(h WireHandler) { rt.wireHandler = h }
+
+// LocalLocality returns the single locality hosted by this process (wire
+// mode), or locality 0.
+func (rt *Runtime) LocalLocality() *Locality { return rt.locs[0] }
+
+// Hold acquires one pending unit, keeping Run alive while remote input may
+// still arrive: a wire-mode rank cannot infer global quiescence from its
+// local counter, so the driver holds the runtime open until the cluster
+// signals completion.
+func (rt *Runtime) Hold() { rt.pending.Add(1) }
+
+// Release releases a Hold.
+func (rt *Runtime) Release() { rt.finish() }
+
+// SeverRank fences a dead rank's wire endpoints: sends to it are refused,
+// unacked parcels touching it settle, and inbound frames from it are
+// dropped. Called on the cluster's death verdict.
+func (rt *Runtime) SeverRank(rank int) { rt.net.sever(rank) }
+
+// RankSevered reports whether a rank has been fenced.
+func (rt *Runtime) RankSevered(rank int) bool { return rt.net.rankDead(int32(rank)) }
+
+// SendWire sends one typed encoded parcel from this rank to a remote rank,
+// with reliable-delivery bookkeeping (wire mode only). The payload slice is
+// retained until the parcel settles; callers must not reuse it.
+func (rt *Runtime) SendWire(dst int, kind uint16, epoch uint32, payload []byte) {
+	rt.parcelsSent.Add(1)
+	rt.parcelBytes.Add(int64(len(payload)))
+	rt.net.sendWire(rt.locs[0].Rank, dst, kind, epoch, payload)
+}
+
+// DeliverWireFrame is the inbound edge of wire mode, called by the cluster's
+// connection readers for every decoded frame. Acks settle sender entries;
+// data frames are deduplicated, acked, and handed to the wire handler on a
+// scheduler worker. Frames from a fenced (dead) source rank are dropped
+// unacknowledged — a corpse gets no replies.
+func (rt *Runtime) DeliverWireFrame(f Frame) {
+	d := rt.net
+	key := pairKey{int32(f.Src), int32(f.Dst)}
+	if f.Ack() {
+		// An ack frame flows dst→src of the data parcel it settles, so the
+		// sender's entry is keyed by the reversed pair.
+		d.onAck(pairKey{int32(f.Dst), int32(f.Src)}, f.Seq)
+		return
+	}
+	if d.rankDead(key.src) {
+		return
+	}
+	if rt.shuttingDown.Load() {
+		d.lateDrops.Add(1)
+		d.ackWire(key, f.Seq)
+		return
+	}
+	d.mu.Lock()
+	sm := d.seen[key]
+	if sm == nil {
+		sm = make(map[uint64]bool)
+		d.seen[key] = sm
+	}
+	dup := sm[f.Seq]
+	sm[f.Seq] = true
+	d.mu.Unlock()
+	if dup {
+		d.deduped.Add(1)
+	} else {
+		d.delivered.Add(1)
+		h := rt.wireHandler
+		rt.locs[0].Spawn(func(w *Worker) { h(w, f) })
+	}
+	d.ackWire(key, f.Seq)
+}
+
+// ackWire emits the delivery acknowledgment frame for one received parcel.
+func (d *delivery) ackWire(key pairKey, seq uint64) {
+	d.wire.Send(Message{Src: int(key.dst), Dst: int(key.src), Seq: seq, Ack: true})
+}
+
+// sendWire allocates a sequence number, registers the parcel for
+// retransmission (holding one pending unit until it settles) and puts the
+// first copy on the wire. Mirrors delivery.send's unreliable branch.
+func (d *delivery) sendWire(src, dst int, kind uint16, epoch uint32, payload []byte) {
+	if d.rankDead(int32(dst)) {
+		d.severed.Add(1)
+		return
+	}
+	key := pairKey{int32(src), int32(dst)}
+	d.mu.Lock()
+	seq := d.nextSeq[key] + 1
+	d.nextSeq[key] = seq
+	e := &sendEntry{
+		key:      key,
+		seq:      seq,
+		bytes:    len(payload),
+		deadline: time.Now().Add(d.cfg.Deadline),
+		backoff:  d.cfg.RetryBase,
+	}
+	um := d.unacked[key]
+	if um == nil {
+		um = make(map[uint64]*sendEntry)
+		d.unacked[key] = um
+	}
+	um[seq] = e
+	d.mu.Unlock()
+
+	d.rt.pending.Add(1) // released when the entry settles
+	d.sent.Add(1)
+	d.transmitWire(e, kind, epoch, payload)
+}
+
+// transmitWire emits one copy of a wire parcel and arms the retransmission
+// timer with the entry's current (jittered) backoff.
+func (d *delivery) transmitWire(e *sendEntry, kind uint16, epoch uint32, payload []byte) {
+	m := Message{
+		Src: int(e.key.src), Dst: int(e.key.dst), Bytes: e.bytes, Seq: e.seq,
+		Kind: kind, Epoch: epoch, Payload: payload,
+	}
+	d.mu.Lock()
+	if e.settled {
+		d.mu.Unlock()
+		return
+	}
+	wait := time.Duration(float64(e.backoff) * (1 + d.rng.Float64()*d.cfg.RetryJitter))
+	if e.backoff < d.cfg.RetryMax {
+		e.backoff *= 2
+		if e.backoff > d.cfg.RetryMax {
+			e.backoff = d.cfg.RetryMax
+		}
+	}
+	e.timer = time.AfterFunc(wait, func() { d.retryWire(e, kind, epoch, payload) })
+	d.mu.Unlock()
+	d.wire.Send(m)
+}
+
+// retryWire is the wire-parcel retransmission: give up on a severed
+// endpoint or past the deadline, otherwise re-emit the identical frame.
+func (d *delivery) retryWire(e *sendEntry, kind uint16, epoch uint32, payload []byte) {
+	severed := d.rankDead(e.key.dst) || d.rankDead(e.key.src)
+	d.mu.Lock()
+	if e.settled {
+		d.mu.Unlock()
+		return
+	}
+	expired := time.Now().After(e.deadline)
+	if expired || severed {
+		e.settled = true
+		delete(d.unacked[e.key], e.seq)
+	}
+	d.mu.Unlock()
+	if severed {
+		d.severed.Add(1)
+		d.rt.finish()
+		return
+	}
+	if expired {
+		d.deadlineExceeded.Add(1)
+		d.record(trace.ClassNetDeadline)
+		d.rt.finish()
+		return
+	}
+	d.retried.Add(1)
+	d.record(trace.ClassNetRetry)
+	d.transmitWire(e, kind, epoch, payload)
+}

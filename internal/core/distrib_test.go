@@ -1,0 +1,207 @@
+package core
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/amt"
+	"repro/internal/dag"
+	"repro/internal/kernel"
+	"repro/internal/points"
+)
+
+// distScenario builds the plan every rank constructs identically from the
+// shared scenario parameters (SPMD: no plan is ever shipped over the wire).
+func distScenario(t *testing.T, n int) (*Plan, []float64) {
+	t.Helper()
+	sp := points.Generate(points.Cube, n, 1)
+	tp := points.Generate(points.Cube, n, 2)
+	q := points.Charges(n, 3)
+	k := kernel.NewLaplace(6)
+	plan, err := NewPlan(sp, tp, k, Options{Method: dag.Advanced, Threshold: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, q
+}
+
+// distClusters brings up a world of in-process clusters joined over unix
+// sockets: rank 0 first (its listener must exist before workers dial), then
+// the workers concurrently (their NewCluster blocks until WELCOME).
+func distClusters(t *testing.T, world int, mut func(*amt.ClusterConfig)) []*amt.Cluster {
+	t.Helper()
+	addr := filepath.Join(t.TempDir(), "rank0.sock")
+	cfg := func(rank int) amt.ClusterConfig {
+		c := amt.ClusterConfig{
+			Rank: rank, World: world, Network: "unix", Addr: addr,
+			Stamp: "distrib-test-v1",
+		}
+		if mut != nil {
+			mut(&c)
+		}
+		return c
+	}
+	cls := make([]*amt.Cluster, world)
+	var err error
+	if cls[0], err = amt.NewCluster(cfg(0)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, world)
+	for r := 1; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cls[r], errs[r] = amt.NewCluster(cfg(r))
+		}(r)
+	}
+	wg.Wait()
+	t.Cleanup(func() {
+		for _, cl := range cls {
+			if cl != nil {
+				cl.Close()
+			}
+		}
+	})
+	for r := 1; r < world; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d join: %v", r, errs[r])
+		}
+	}
+	return cls
+}
+
+// Four ranks over a real unix-socket mesh must reproduce the sequential
+// potentials exactly (modulo summation-order rounding): the 1e-12 gate the
+// multi-process smoke run enforces.
+func TestDistRunMatchesSequential(t *testing.T) {
+	const world, n = 4, 1500
+	refPlan, q := distScenario(t, n)
+	want, err := refPlan.EvaluateSequential(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Four clusters plus four runtimes share this test process: the 200ms
+	// default detector can falsely declare a busy rank dead on loaded CI, so
+	// give heartbeats a full second of slack (detection speed is irrelevant
+	// in a fault-free run).
+	cls := distClusters(t, world, func(c *amt.ClusterConfig) {
+		c.Heartbeat = amt.FailureDetectorConfig{Interval: 50 * time.Millisecond, MissedBeats: 20}
+	})
+	pots := make([][]float64, world)
+	reps := make([]ExecReport, world)
+	errs := make([]error, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			plan, charges := distScenario(t, n)
+			if r != 0 {
+				charges = nil
+			}
+			pots[r], reps[r], errs[r] = DistRun(plan, cls[r], charges, DistOptions{
+				Seed: int64(100 + r), Timeout: 60 * time.Second,
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	assertSame(t, pots[0], want, 1e-12)
+	for r := 1; r < world; r++ {
+		if pots[r] != nil {
+			t.Errorf("rank %d returned potentials; only rank 0 gathers", r)
+		}
+	}
+	rep := reps[0]
+	if rep.Localities != world {
+		t.Errorf("Localities = %d, want %d", rep.Localities, world)
+	}
+	if rep.Runtime.ParcelsSent == 0 {
+		t.Error("rank 0 sent no wire parcels")
+	}
+	if tr := rep.Runtime.Transport; tr.WireMessages == 0 || tr.BytesOut == 0 {
+		t.Errorf("transport counters empty: %+v", tr)
+	}
+	if rep.Recovery.RanksKilled != 0 {
+		t.Errorf("fault-free run reported %d killed ranks", rep.Recovery.RanksKilled)
+	}
+}
+
+// Killing a worker rank mid-run (simulated by closing its cluster, which
+// silences its heartbeats and severs its sockets exactly as SIGKILL would)
+// must still produce 1e-12 potentials at rank 0, with the recovery counters
+// reporting the failover.
+func TestDistRunRecoversFromRankDeath(t *testing.T) {
+	const world, n = 4, 1500
+	const victim = world - 1
+	refPlan, q := distScenario(t, n)
+	want, err := refPlan.EvaluateSequential(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A lazier detector than the 200ms default keeps loaded CI (and -race)
+	// from declaring healthy ranks dead; the victim's silence is still
+	// detected within a second.
+	cls := distClusters(t, world, func(c *amt.ClusterConfig) {
+		c.Heartbeat = amt.FailureDetectorConfig{Interval: 50 * time.Millisecond, MissedBeats: 20}
+	})
+
+	pots := make([][]float64, world)
+	reps := make([]ExecReport, world)
+	errs := make([]error, world)
+	var die sync.Once
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			plan, charges := distScenario(t, n)
+			if r != 0 {
+				charges = nil
+			}
+			opts := DistOptions{Seed: int64(200 + r), Timeout: 90 * time.Second}
+			if r == victim {
+				// Drop dead at half of the victim's local progress. Close
+				// tears down every socket and stops the heartbeat sender, so
+				// from the survivors' side this is indistinguishable from a
+				// SIGKILL'd process.
+				opts.Timeout = 10 * time.Second
+				opts.OnProgress = func(fired, owned int) {
+					if owned > 0 && fired*2 >= owned {
+						die.Do(func() { cls[victim].Close() })
+					}
+				}
+			}
+			pots[r], reps[r], errs[r] = DistRun(plan, cls[r], charges, opts)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if r == victim {
+			if err == nil {
+				t.Errorf("victim rank %d finished cleanly; expected an error after Close", r)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	assertSame(t, pots[0], want, 1e-12)
+	rec := reps[0].Recovery
+	if rec.RanksKilled != 1 {
+		t.Errorf("RanksKilled = %d, want 1", rec.RanksKilled)
+	}
+	if rec.NodesRebuilt == 0 {
+		t.Error("no nodes rebuilt despite a rank death")
+	}
+}

@@ -149,9 +149,16 @@ func (MinComm) Assign(g *dag.Graph, localities int) {
 		var bestBytes int64 = -1
 		if m := inBytes[n.ID]; m != nil {
 			// The I->L edge to the local expansion weighs in for the home
-			// locality.
+			// locality. Scan localities in rank order — not map order — so
+			// equal-byte ties resolve identically on every process: in
+			// multi-process runs each rank computes this placement
+			// independently and all copies must agree.
 			m[home] += int64(g.Kernel.MLSize() * 16)
-			for loc, b := range m {
+			for loc := int32(0); loc < int32(localities); loc++ {
+				b, ok := m[loc]
+				if !ok {
+					continue
+				}
 				if b > bestBytes || (b == bestBytes && loc == home) {
 					best, bestBytes = loc, b
 				}

@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/amt"
 )
 
 // Metrics is the server's expvar-style counter set, exposed as JSON at
@@ -25,6 +27,17 @@ type Metrics struct {
 	RuntimeReuses atomic.Int64 // evaluations on a pooled runtime generation
 	Traces        atomic.Int64 // per-request trace captures
 
+	// Cumulative parcel-transport counters across evaluations, so wire
+	// health (encode/decode volume, retransmissions, socket reconnects,
+	// rejected handshakes) is visible at /metrics without scraping logs.
+	WireMessages     atomic.Int64
+	WireBytesOut     atomic.Int64
+	WireBytesIn      atomic.Int64
+	WireReconnects   atomic.Int64
+	WireHandshakes   atomic.Int64 // failed handshakes
+	WireRetried      atomic.Int64
+	WireDeadlineLost atomic.Int64 // parcels abandoned at the delivery deadline
+
 	queued   atomic.Int64 // requests waiting for an evaluation slot (gauge)
 	inflight atomic.Int64 // evaluations currently running (gauge)
 
@@ -33,6 +46,18 @@ type Metrics struct {
 	PlanBuild Histogram
 	Evaluate  Histogram
 	Total     Histogram
+}
+
+// observeTransport folds one evaluation's transport counters into the
+// cumulative wire metrics.
+func (m *Metrics) observeTransport(ts amt.TransportStats) {
+	m.WireMessages.Add(ts.WireMessages)
+	m.WireBytesOut.Add(ts.BytesOut)
+	m.WireBytesIn.Add(ts.BytesIn)
+	m.WireReconnects.Add(ts.Reconnects)
+	m.WireHandshakes.Add(ts.HandshakeFailures)
+	m.WireRetried.Add(ts.Retried)
+	m.WireDeadlineLost.Add(ts.DeadlineExceeded)
 }
 
 // histBuckets is the number of power-of-two latency buckets; bucket i
@@ -172,6 +197,14 @@ type MetricsSnapshot struct {
 	RuntimeReuses int64 `json:"runtime_reuses"`
 	Traces        int64 `json:"traces"`
 
+	WireMessages     int64 `json:"wire_messages"`
+	WireBytesOut     int64 `json:"wire_bytes_out"`
+	WireBytesIn      int64 `json:"wire_bytes_in"`
+	WireReconnects   int64 `json:"wire_reconnects"`
+	WireHandshakes   int64 `json:"wire_handshake_failures"`
+	WireRetried      int64 `json:"wire_retried"`
+	WireDeadlineLost int64 `json:"wire_deadline_exceeded"`
+
 	QueueDepth int64 `json:"queue_depth"`
 	Inflight   int64 `json:"inflight"`
 
@@ -196,11 +229,19 @@ func (m *Metrics) snapshot(cachedPlans int) MetricsSnapshot {
 		Coalesced:     m.Coalesced.Load(),
 		RuntimeReuses: m.RuntimeReuses.Load(),
 		Traces:        m.Traces.Load(),
-		QueueDepth:    m.queued.Load(),
-		Inflight:      m.inflight.Load(),
-		QueueWait:     m.QueueWait.Snapshot(),
-		PlanBuild:     m.PlanBuild.Snapshot(),
-		Evaluate:      m.Evaluate.Snapshot(),
-		Total:         m.Total.Snapshot(),
+
+		WireMessages:     m.WireMessages.Load(),
+		WireBytesOut:     m.WireBytesOut.Load(),
+		WireBytesIn:      m.WireBytesIn.Load(),
+		WireReconnects:   m.WireReconnects.Load(),
+		WireHandshakes:   m.WireHandshakes.Load(),
+		WireRetried:      m.WireRetried.Load(),
+		WireDeadlineLost: m.WireDeadlineLost.Load(),
+		QueueDepth:       m.queued.Load(),
+		Inflight:         m.inflight.Load(),
+		QueueWait:        m.QueueWait.Snapshot(),
+		PlanBuild:        m.PlanBuild.Snapshot(),
+		Evaluate:         m.Evaluate.Snapshot(),
+		Total:            m.Total.Snapshot(),
 	}
 }

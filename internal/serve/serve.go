@@ -319,6 +319,7 @@ func (s *Server) evaluate(req *Request, queueWait time.Duration, t0 time.Time) (
 		return nil, &errorBody{Error: "evaluation failed: " + err.Error()}
 	}
 	s.metrics.Evaluate.Observe(evalDur)
+	s.metrics.observeTransport(rep.Runtime.Transport)
 	if rep.RuntimeReused {
 		s.metrics.RuntimeReuses.Add(1)
 	}
