@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint fmt-check bench bench-smoke bench-serve serve-smoke chaos chaos-short chaos-crash dist-smoke ci
+.PHONY: build test race vet lint fmt-check bench bench-smoke bench-serve serve-smoke serve-chaos chaos chaos-short chaos-crash dist-smoke ci
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,14 @@ bench-smoke:
 serve-smoke:
 	$(GO) test ./internal/serve -run TestServeSmoke -v -count=1 -timeout 5m
 
+# Self-healing serve gate: a daemon with a forked worker-rank pool serves
+# concurrent distributed requests while one worker is SIGKILLed mid-load.
+# Every request must match the sequential reference at 1e-12 or fail closed
+# as a degraded 503; afterwards the supervisor must respawn and re-admit the
+# worker (generation bump in /metrics) and distributed service must resume.
+serve-chaos:
+	$(GO) test ./internal/serve -run TestServeChaos -v -count=1 -timeout 10m
+
 # Warm-vs-cold serving benchmark (plan cache + pooled runtime against
 # per-request setup); writes BENCH_serve.json.
 bench-serve:
@@ -78,4 +86,4 @@ chaos-crash:
 dist-smoke: build
 	$(GO) run ./cmd/dashmm-bench -real -n 20000 -locs 4 -net unix -kill-rank 2 -kill-at 0.5
 
-ci: build vet fmt-check lint test race serve-smoke chaos-short chaos-crash dist-smoke bench-smoke
+ci: build vet fmt-check lint test race serve-smoke serve-chaos chaos-short chaos-crash dist-smoke bench-smoke

@@ -14,11 +14,18 @@
 // full schema (distribution / inline points, kernel, accuracy, execution
 // shape, charges, deadline_ms, trace).
 //
+// With -workers N the daemon forks N worker-rank processes (this same
+// binary, re-executed) into a supervised standing pool: requests of at
+// least -dist-threshold points run distributed across the ranks, dead
+// workers are respawned and re-admitted with a fresh wire generation, and
+// when the fabric cannot be healed the daemon degrades to in-process
+// evaluation (responses marked "degraded") instead of failing.
+//
 // Example:
 //
-//	dashmm-serve -addr :8075 &
+//	dashmm-serve -addr :8075 -workers 4 &
 //	curl -s localhost:8075/evaluate -d '{"n":20000,"workers":4}' | head -c 200
-//	curl -s localhost:8075/metrics
+//	curl -s localhost:8075/metrics          # per-rank health under "dist"
 package main
 
 import (
@@ -35,6 +42,12 @@ import (
 )
 
 func main() {
+	// Worker re-exec: a process forked by the pool never reaches the flag
+	// parsing below — it joins the coordinator and serves jobs until EXIT.
+	if serve.MaybeWorker() {
+		return
+	}
+
 	var (
 		addr       = flag.String("addr", ":8075", "listen address")
 		maxQueue   = flag.Int("max-queue", 64, "admission queue depth; excess requests get 429")
@@ -43,6 +56,11 @@ func main() {
 		deadline   = flag.Duration("default-deadline", 30*time.Second, "deadline for requests without deadline_ms")
 		maxPoints  = flag.Int("max-points", 200000, "largest accepted ensemble (-1 = unlimited)")
 		drainGrace = flag.Duration("drain", 10*time.Second, "shutdown grace period")
+
+		workers     = flag.Int("workers", 0, "worker-rank pool size (0 = in-process only)")
+		distNet     = flag.String("dist-net", "unix", "pool transport: unix or tcp")
+		distThresh  = flag.Int("dist-threshold", 4096, "smallest ensemble routed over the pool (-1 = never)")
+		rankThreads = flag.Int("rank-threads", 0, "scheduler threads per rank (0 = auto)")
 	)
 	flag.Parse()
 
@@ -52,7 +70,28 @@ func main() {
 		CacheSize:       *cacheSize,
 		DefaultDeadline: *deadline,
 		MaxPoints:       *maxPoints,
+		DistThreshold:   *distThresh,
 	})
+
+	var pool *serve.Pool
+	if *workers > 0 {
+		p, err := serve.NewPool(serve.PoolConfig{
+			Workers:     *workers,
+			Network:     *distNet,
+			RankThreads: *rankThreads,
+		})
+		if err != nil {
+			// Degraded from birth: the daemon still serves everything
+			// in-process rather than refusing to start.
+			log.Printf("dashmm-serve: worker pool failed to start, serving in-process only: %v", err)
+		} else {
+			srv.AttachPool(p)
+			pool = p
+			log.Printf("dashmm-serve: worker pool up (%d ranks over %s, threshold %d points)",
+				*workers, *distNet, *distThresh)
+		}
+	}
+
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	done := make(chan struct{})
@@ -66,12 +105,22 @@ func main() {
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Printf("dashmm-serve: forced shutdown: %v", err)
 		}
+		// Tear the pool down only after the listener drained: in-flight
+		// distributed requests finish (or degrade) first, and no worker
+		// process outlives the daemon.
+		if pool != nil {
+			pool.Close()
+			log.Printf("dashmm-serve: worker pool stopped")
+		}
 		close(done)
 	}()
 
 	log.Printf("dashmm-serve: listening on %s (queue=%d, concurrent=%d, cache=%d plans)",
 		*addr, *maxQueue, *maxConc, *cacheSize)
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		if pool != nil {
+			pool.Close()
+		}
 		log.Fatal(err)
 	}
 	<-done

@@ -377,6 +377,12 @@ func (rt *Runtime) Run(setup func()) Stats {
 	rt.sweepLeftovers()
 	rt.shuttingDown.Store(true)
 	rt.sweepLeftovers() // whatever raced the flag
+	// Settle whatever this run never got acked. A failed or aborted run
+	// leaves unacked parcels whose retransmission timers would otherwise
+	// outlive Run by up to the delivery deadline — and on a shared wire a
+	// retransmitted frame is re-stamped with the current cluster generation,
+	// so a dead run's stragglers would pass the next run's fence.
+	rt.net.purge()
 	return rt.StatsNow()
 }
 

@@ -58,7 +58,7 @@ type TransportStats struct {
 	Sent             int64 // application parcels handed to the wire
 	Retried          int64 // retransmissions
 	Acked            int64 // parcels settled by an ack
-	DeadlineExceeded int64 // parcels abandoned at the delivery deadline
+	DeadlineExceeded int64 // parcels abandoned: delivery deadline or run teardown
 	// Receiver side.
 	Delivered int64 // first copies: the parcel action was spawned
 	Deduped   int64 // redundant copies suppressed by the sequence filter
@@ -76,6 +76,7 @@ type TransportStats struct {
 	BytesOut, BytesIn int64
 	Reconnects        int64
 	HandshakeFailures int64
+	StaleFenced       int64
 }
 
 // pairKey identifies one directed (src, dst) parcel channel.
@@ -192,6 +193,45 @@ func (d *delivery) sever(rank int) {
 	}
 }
 
+// purge settles every outstanding unacked parcel regardless of endpoint:
+// retransmission timers are stopped and the pending units released. Called
+// at Run teardown so a failed or aborted run's stragglers cannot keep
+// retransmitting into the transport after Run returns. On a long-lived wire
+// the next run shares the socket, and a re-emitted frame is stamped with
+// the *current* cluster generation at send time — a dead run's payload
+// would ride straight through the next run's generation fence and shadow
+// its real broadcast. A clean run has nothing unacked, so this is a no-op
+// on the success path (and always on the fast path, which never registers
+// entries).
+func (d *delivery) purge() {
+	var timers []*time.Timer
+	n := 0
+	d.mu.Lock()
+	for _, um := range d.unacked {
+		for seq, e := range um {
+			if e.settled {
+				continue
+			}
+			e.settled = true
+			delete(um, seq)
+			if e.timer != nil {
+				timers = append(timers, e.timer)
+			}
+			n++
+		}
+	}
+	d.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
+	if n > 0 {
+		d.deadlineExceeded.Add(int64(n))
+		for i := 0; i < n; i++ {
+			d.rt.finish()
+		}
+	}
+}
+
 // rankDead reports whether a rank's endpoints have been severed.
 func (d *delivery) rankDead(rank int32) bool {
 	return d.dead != nil && d.dead[rank].Load()
@@ -216,6 +256,7 @@ func (d *delivery) stats() TransportStats {
 		BytesIn:           w.BytesIn,
 		Reconnects:        w.Reconnects,
 		HandshakeFailures: w.HandshakeFailures,
+		StaleFenced:       w.StaleFenced,
 	}
 }
 

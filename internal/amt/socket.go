@@ -37,6 +37,7 @@ type SocketTransport struct {
 	bytesIn        atomic.Int64
 	reconnects     atomic.Int64
 	handshakeFails atomic.Int64
+	staleFenced    atomic.Int64 // inbound frames dropped by the generation fence
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -76,6 +77,7 @@ func (t *SocketTransport) Stats() WireStats {
 		BytesIn:           t.bytesIn.Load(),
 		Reconnects:        t.reconnects.Load(),
 		HandshakeFailures: t.handshakeFails.Load(),
+		StaleFenced:       t.staleFenced.Load(),
 	}
 }
 
@@ -120,10 +122,14 @@ func (t *SocketTransport) setPeers(addrs []string, dead []atomic.Bool) {
 // queue, and a not-yet-started mesh all count as wire loss.
 func (t *SocketTransport) Send(m Message) {
 	f := Frame{
-		Kind:    m.Kind,
-		Src:     m.Src,
-		Dst:     m.Dst,
-		Epoch:   m.Epoch,
+		Kind: m.Kind,
+		Src:  m.Src,
+		Dst:  m.Dst,
+		// The adopted wire generation rides in the epoch's high 16 bits;
+		// the receiver's fence (Cluster.serveData) strips it back off. The
+		// run-level epoch in the low bits stays far below 2^16 (it counts
+		// death verdicts), so nothing is lost to the split.
+		Epoch:   (m.Epoch & 0xffff) | uint32(uint16(t.cl.gen.Load()))<<16,
 		Seq:     m.Seq,
 		Payload: m.Payload,
 	}
@@ -174,6 +180,33 @@ func (t *SocketTransport) severPeer(rank int) {
 	p.qbytes = 0
 	p.mu.Unlock()
 	p.cond.Broadcast()
+}
+
+// revivePeer resurrects a re-admitted rank's outbound link at its new
+// address: the severed link (if any) is retired and a fresh writer
+// goroutine spawned. Frames queued for the corpse died with severPeer.
+//
+//dashmm:detached the fresh writer exits when its link is closed; close() closes every installed link and t.wg.Wait joins it
+func (t *SocketTransport) revivePeer(rank int, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed.Load() || t.peers == nil || rank < 0 || rank >= len(t.peers) || rank == t.cl.cfg.Rank {
+		return
+	}
+	if old := t.peers[rank]; old != nil {
+		old.mu.Lock()
+		old.closed = true
+		t.dropped.Add(int64(len(old.queue)))
+		old.queue = nil
+		old.qbytes = 0
+		old.mu.Unlock()
+		old.cond.Broadcast()
+	}
+	p := &peerLink{rank: rank, addr: addr}
+	p.cond = sync.NewCond(&p.mu)
+	t.peers[rank] = p
+	t.wg.Add(1)
+	go t.writerLoop(p)
 }
 
 // close stops every writer goroutine and joins them (called by

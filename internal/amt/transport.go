@@ -61,6 +61,10 @@ type WireStats struct {
 	// HandshakeFailures rejected connection attempts (socket transports).
 	Reconnects        int64
 	HandshakeFailures int64
+	// StaleFenced counts inbound frames dropped by the generation fence: a
+	// dead incarnation's stragglers, or early frames from a generation this
+	// rank had not yet adopted (socket transports).
+	StaleFenced int64
 }
 
 // Transport is the pluggable wire between localities.

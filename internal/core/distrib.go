@@ -63,6 +63,20 @@ type DistOptions struct {
 	// total. The chaos harness uses it to SIGKILL the process at a chosen
 	// local progress fraction; core stays OS-agnostic.
 	OnProgress func(fired, ownedTotal int)
+	// Generation, when non-zero, is the wire generation this run adopts (a
+	// standing cluster allocates one per job via StartJob). It is adopted
+	// only after the run's frame sink is live, so frames of the new
+	// generation are fenced — not acked and dropped — until this run can
+	// accept them.
+	Generation uint32
+	// PreDead lists ranks already declared dead when the run begins, in
+	// verdict order. Every rank of a job must pass the same list (the job
+	// broadcast carries it), so all ranks derive the identical starting
+	// placement; failover composition is order-sensitive.
+	PreDead []int
+	// Cancel, when non-nil, aborts the run when closed (a serve request's
+	// deadline propagating into the fabric).
+	Cancel <-chan struct{}
 }
 
 func (o DistOptions) withDefaults() DistOptions {
@@ -105,8 +119,39 @@ func DistRun(p *Plan, cl *amt.Cluster, charges []float64, opts DistOptions) ([]f
 	if err != nil {
 		return nil, ExecReport{}, err
 	}
+	// The membership callbacks registered by newDistExec must not outlive
+	// this run: a standing cluster keeps issuing verdicts between jobs, and
+	// one landing in a discarded executor would corrupt the next run's
+	// state. Cleared explicitly after rt.Run below (before the results are
+	// read); the defer covers the error paths.
+	defer cl.ClearRunHandlers()
 	if err := cl.Start(); err != nil {
 		return nil, ExecReport{}, err
+	}
+	if opts.Generation != 0 {
+		cl.AdoptGeneration(opts.Generation)
+	}
+	// Replay pre-run death verdicts in their broadcast order: first the
+	// job's consistent base, then anything the cluster has verdicted since
+	// (idempotent — a concurrent callback for the same rank is a no-op).
+	for _, r := range opts.PreDead {
+		if r == cl.Rank() {
+			return nil, ExecReport{}, fmt.Errorf("core: rank %d is listed dead in the job placement", r)
+		}
+		dx.applyDeath(r)
+	}
+	dx.syncDeaths()
+
+	if opts.Cancel != nil {
+		cancelStop := make(chan struct{})
+		defer close(cancelStop)
+		go func() {
+			select {
+			case <-opts.Cancel:
+				dx.fail(fmt.Errorf("core: rank %d distributed evaluation canceled", cl.Rank()))
+			case <-cancelStop:
+			}
+		}()
 	}
 
 	timeout := time.AfterFunc(opts.Timeout, func() {
@@ -135,6 +180,10 @@ func DistRun(p *Plan, cl *amt.Cluster, charges []float64, opts DistOptions) ([]f
 		}
 	})
 	elapsed := time.Since(start)
+	// Quiesce before reading any run state: the defer above runs only
+	// after the return values (st.potentials()) have been evaluated, too
+	// late to stop a straggling verdict from mutating st under the copy.
+	cl.ClearRunHandlers()
 
 	if err := dx.err(); err != nil {
 		return nil, ExecReport{}, err
@@ -572,8 +621,7 @@ func (dx *distExec) markCovered(ids []int32) {
 }
 
 // onDeath is the membership callback: one death verdict, observed in the
-// same order by every rank. It runs with the executor quiesced (write
-// lock), so the recovery below never races a node fire or parcel apply.
+// same order by every rank.
 func (dx *distExec) onDeath(deadRank, epoch int) {
 	if deadRank == dx.rank {
 		// The cluster declared *us* dead (a false heartbeat verdict under
@@ -582,7 +630,34 @@ func (dx *distExec) onDeath(deadRank, epoch int) {
 		dx.fail(fmt.Errorf("core: rank %d declared dead by the cluster at epoch %d", dx.rank, epoch))
 		return
 	}
+	// Failover composition is order-sensitive: process every verdict this
+	// executor has not yet applied in the cluster's authoritative order,
+	// not just the one that fired the callback. On a standing cluster a
+	// verdict can predate the callback registration (it reaches the run
+	// via DeadOrder replay in DistRun); whoever gets there first applies
+	// it, in order, and the other path no-ops.
+	dx.syncDeaths()
+}
+
+// syncDeaths applies, in verdict order, every death this executor has not
+// yet processed.
+func (dx *distExec) syncDeaths() {
+	for _, r := range dx.cl.DeadOrder() {
+		if r != dx.rank {
+			dx.applyDeath(r)
+		}
+	}
+}
+
+// applyDeath performs one rank's failover. It runs with the executor
+// quiesced (write lock), so the recovery below never races a node fire or
+// parcel apply. Idempotent: a verdict already applied is a no-op.
+func (dx *distExec) applyDeath(deadRank int) {
 	dx.runMu.Lock()
+	if dx.deadRanks[deadRank] {
+		dx.runMu.Unlock()
+		return
+	}
 	dx.rt.SeverRank(deadRank)
 	g := dx.g
 	dx.deadRanks[deadRank] = true
@@ -664,7 +739,14 @@ func (dx *distExec) onDeath(deadRank, epoch int) {
 			k := replayKey{ref.src, plain[id]}
 			replays[k] = append(replays[k], ref.out)
 		}
-		if g.Nodes[id].In == 0 && int(plain[id]) == dx.rank {
+		// Re-seed rebuilt roots — but only once charges are installed. Before
+		// that (a PreDead replay, or a verdict racing the broadcast) the task
+		// would fire on zero charges and its applied bits would then shadow
+		// the real contributions; applyCharges spawns every root this rank
+		// homes, from the already-updated placement. The store/load order
+		// (homes then chargesReady here; chargesReady then homes there) makes
+		// the handoff airtight: at least one side sees the other's write.
+		if g.Nodes[id].In == 0 && int(plain[id]) == dx.rank && dx.chargesReady.Load() {
 			loc.Spawn(dx.tasks[id])
 		}
 	}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Circuit breaker for the distributed path. Closed: distributed requests
+// flow. A run of consecutive failures opens it; while open, every
+// distributed-eligible request short-circuits straight to the in-process
+// fallback (marked Degraded) instead of burning its deadline against a
+// broken fabric. After a cooldown the breaker goes half-open: one probe
+// request is let through, and its outcome closes or re-opens the breaker.
+// ForceOpen pins it open — the supervisor pulls that lever when a rank's
+// restart budget is exhausted, because no amount of probing brings an
+// abandoned rank back; only Reset (a successful re-admission) unpins it.
+type breaker struct {
+	threshold int           // consecutive failures that open the breaker
+	cooldown  time.Duration // open → half-open delay
+
+	mu       sync.Mutex
+	failures int       // guarded by mu: consecutive failures
+	state    string    // guarded by mu: closed | open | half-open | forced-open
+	openedAt time.Time // guarded by mu
+	probing  bool      // guarded by mu: a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, state: "closed"}
+}
+
+// allow reports whether a distributed attempt may proceed.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case "closed":
+		return true
+	case "forced-open":
+		return false
+	case "open":
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = "half-open"
+		b.probing = true
+		return true
+	case "half-open":
+		// One probe at a time; everyone else stays degraded until it lands.
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// success records a completed distributed evaluation.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == "forced-open" {
+		return
+	}
+	b.failures = 0
+	b.probing = false
+	b.state = "closed"
+}
+
+// failure records a failed distributed evaluation.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == "forced-open" {
+		return
+	}
+	b.failures++
+	b.probing = false
+	if b.state == "half-open" || b.failures >= b.threshold {
+		b.state = "open"
+		b.openedAt = time.Now()
+	}
+}
+
+// forceOpen pins the breaker open until Reset.
+func (b *breaker) forceOpen() {
+	b.mu.Lock()
+	b.state = "forced-open"
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// reset returns a forced-open breaker to service (a rank was successfully
+// re-admitted after an abandon). No-op otherwise.
+func (b *breaker) reset() {
+	b.mu.Lock()
+	if b.state == "forced-open" {
+		b.state = "closed"
+		b.failures = 0
+	}
+	b.mu.Unlock()
+}
+
+// current reports the breaker state for /metrics.
+func (b *breaker) current() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,79 @@
+package serve
+
+import "encoding/json"
+
+// jobSpec is the job payload rank 0 broadcasts over the cluster's control
+// star for one distributed evaluation. It carries everything a worker rank
+// needs to build the identical plan (SPMD: every rank derives the same
+// tree, DAG and placement from the same scenario) plus the job's wire
+// generation and the dead-rank base the placement starts from. Charges are
+// deliberately absent — rank 0 broadcasts them in-band once the run is up
+// (core.DistRun), so the control frame stays small.
+type jobSpec struct {
+	Gen     uint32 `json:"gen"`
+	PreDead []int  `json:"pre_dead,omitempty"`
+
+	Distribution string  `json:"distribution"`
+	N            int     `json:"n"`
+	Seed         int64   `json:"seed"`
+	Kernel       string  `json:"kernel"`
+	Lambda       float64 `json:"lambda,omitempty"`
+	Digits       int     `json:"digits"`
+	Threshold    int     `json:"threshold"`
+
+	// RunSeed seeds the runtime's steal/backoff RNGs (never the results).
+	RunSeed int64 `json:"run_seed"`
+	// TimeoutMS is rank 0's evaluation budget; workers add a grace margin
+	// on top so a coordinator-side timeout resolves the run before the
+	// workers give up on their own.
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+func (j *jobSpec) encode() []byte {
+	b, err := json.Marshal(j)
+	if err != nil {
+		// Every field is a plain scalar; Marshal cannot fail.
+		panic("serve: jobSpec encode: " + err.Error())
+	}
+	return b
+}
+
+func decodeJobSpec(b []byte) (*jobSpec, error) {
+	var j jobSpec
+	if err := json.Unmarshal(b, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// jobSpecFrom captures a normalized request's plan-defining fields.
+func jobSpecFrom(r *Request) *jobSpec {
+	return &jobSpec{
+		Distribution: r.Distribution,
+		N:            r.N,
+		Seed:         r.Seed,
+		Kernel:       r.Kernel,
+		Lambda:       r.Lambda,
+		Digits:       r.Digits,
+		Threshold:    r.Threshold,
+	}
+}
+
+// planRequest reconstructs the Request a worker rank uses to build (and
+// cache) the job's plan. Normalizing it with unlimited points yields the
+// exact same plan inputs rank 0 used.
+func (j *jobSpec) planRequest() (*Request, error) {
+	r := &Request{
+		Distribution: j.Distribution,
+		N:            j.N,
+		Seed:         j.Seed,
+		Kernel:       j.Kernel,
+		Lambda:       j.Lambda,
+		Digits:       j.Digits,
+		Threshold:    j.Threshold,
+	}
+	if err := r.normalize(Config{MaxPoints: -1}.withDefaults()); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -27,6 +27,11 @@ type Metrics struct {
 	RuntimeReuses atomic.Int64 // evaluations on a pooled runtime generation
 	Traces        atomic.Int64 // per-request trace captures
 
+	DistRequests atomic.Int64 // evaluations attempted over the worker pool
+	DistOK       atomic.Int64 // evaluations completed over the worker pool
+	DistFailed   atomic.Int64 // pool attempts that failed or were refused
+	DegradedOK   atomic.Int64 // eligible requests served in-process instead
+
 	// Cumulative parcel-transport counters across evaluations, so wire
 	// health (encode/decode volume, retransmissions, socket reconnects,
 	// rejected handshakes) is visible at /metrics without scraping logs.
@@ -37,6 +42,7 @@ type Metrics struct {
 	WireHandshakes   atomic.Int64 // failed handshakes
 	WireRetried      atomic.Int64
 	WireDeadlineLost atomic.Int64 // parcels abandoned at the delivery deadline
+	WireStaleFenced  atomic.Int64 // frames dropped by the generation fence
 
 	queued   atomic.Int64 // requests waiting for an evaluation slot (gauge)
 	inflight atomic.Int64 // evaluations currently running (gauge)
@@ -58,6 +64,7 @@ func (m *Metrics) observeTransport(ts amt.TransportStats) {
 	m.WireHandshakes.Add(ts.HandshakeFailures)
 	m.WireRetried.Add(ts.Retried)
 	m.WireDeadlineLost.Add(ts.DeadlineExceeded)
+	m.WireStaleFenced.Add(ts.StaleFenced)
 }
 
 // histBuckets is the number of power-of-two latency buckets; bucket i
@@ -197,6 +204,11 @@ type MetricsSnapshot struct {
 	RuntimeReuses int64 `json:"runtime_reuses"`
 	Traces        int64 `json:"traces"`
 
+	DistRequests int64 `json:"dist_requests"`
+	DistOK       int64 `json:"dist_ok"`
+	DistFailed   int64 `json:"dist_failed"`
+	DegradedOK   int64 `json:"degraded"`
+
 	WireMessages     int64 `json:"wire_messages"`
 	WireBytesOut     int64 `json:"wire_bytes_out"`
 	WireBytesIn      int64 `json:"wire_bytes_in"`
@@ -204,6 +216,7 @@ type MetricsSnapshot struct {
 	WireHandshakes   int64 `json:"wire_handshake_failures"`
 	WireRetried      int64 `json:"wire_retried"`
 	WireDeadlineLost int64 `json:"wire_deadline_exceeded"`
+	WireStaleFenced  int64 `json:"wire_stale_fenced"`
 
 	QueueDepth int64 `json:"queue_depth"`
 	Inflight   int64 `json:"inflight"`
@@ -212,9 +225,13 @@ type MetricsSnapshot struct {
 	PlanBuild HistogramSnapshot `json:"plan_build"`
 	Evaluate  HistogramSnapshot `json:"evaluate"`
 	Total     HistogramSnapshot `json:"total"`
+
+	// Dist is the worker-rank pool's health (nil when serving without one):
+	// per-rank supervision state, restart counts, breaker state, generation.
+	Dist *PoolSnapshot `json:"dist,omitempty"`
 }
 
-func (m *Metrics) snapshot(cachedPlans int) MetricsSnapshot {
+func (m *Metrics) snapshot(cachedPlans int, dist *PoolSnapshot) MetricsSnapshot {
 	return MetricsSnapshot{
 		Requests:      m.Requests.Load(),
 		OK:            m.OK.Load(),
@@ -230,6 +247,11 @@ func (m *Metrics) snapshot(cachedPlans int) MetricsSnapshot {
 		RuntimeReuses: m.RuntimeReuses.Load(),
 		Traces:        m.Traces.Load(),
 
+		DistRequests: m.DistRequests.Load(),
+		DistOK:       m.DistOK.Load(),
+		DistFailed:   m.DistFailed.Load(),
+		DegradedOK:   m.DegradedOK.Load(),
+
 		WireMessages:     m.WireMessages.Load(),
 		WireBytesOut:     m.WireBytesOut.Load(),
 		WireBytesIn:      m.WireBytesIn.Load(),
@@ -237,11 +259,13 @@ func (m *Metrics) snapshot(cachedPlans int) MetricsSnapshot {
 		WireHandshakes:   m.WireHandshakes.Load(),
 		WireRetried:      m.WireRetried.Load(),
 		WireDeadlineLost: m.WireDeadlineLost.Load(),
+		WireStaleFenced:  m.WireStaleFenced.Load(),
 		QueueDepth:       m.queued.Load(),
 		Inflight:         m.inflight.Load(),
 		QueueWait:        m.QueueWait.Snapshot(),
 		PlanBuild:        m.PlanBuild.Snapshot(),
 		Evaluate:         m.Evaluate.Snapshot(),
 		Total:            m.Total.Snapshot(),
+		Dist:             dist,
 	}
 }

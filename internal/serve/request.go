@@ -76,11 +76,19 @@ type Report struct {
 	TasksRun      int64         `json:"tasks_run"`
 	ParcelsSent   int64         `json:"parcels_sent"`
 	Steals        int64         `json:"steals"`
+	// Distributed: the evaluation ran over the worker-rank pool. Degraded:
+	// it was eligible for the pool but fell back in-process (breaker open,
+	// no live workers, or a mid-run failure that exhausted the retry).
+	Distributed bool `json:"distributed,omitempty"`
+	Degraded    bool `json:"degraded,omitempty"`
 }
 
 // errorBody is the JSON error payload.
 type errorBody struct {
 	Error string `json:"error"`
+	// Degraded marks a failure on the degraded path: the distributed fabric
+	// was down and the fallback could not complete within the deadline.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // normalize applies defaults and validates the request against the server
@@ -211,6 +219,14 @@ func hashPoints(h interface{ Write([]byte) (int, error) }, pts [][3]float64) {
 			h.Write(b[:])
 		}
 	}
+}
+
+// distEligible reports whether the request should route through the
+// worker-rank pool: spec-generated geometry only (inline points do not fit
+// in a job broadcast), no trace capture (traces are per-process), and large
+// enough that distribution beats the in-process path.
+func (r *Request) distEligible(threshold int) bool {
+	return threshold > 0 && len(r.Sources) == 0 && !r.Trace && r.N >= threshold
 }
 
 // ensembles materializes the request's source/target points.

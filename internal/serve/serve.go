@@ -45,6 +45,10 @@ type Config struct {
 	// MaxPoints rejects requests above this ensemble size with 400
 	// (default 200000; 0 keeps the default, -1 disables the limit).
 	MaxPoints int
+	// DistThreshold routes eligible requests of at least this many points
+	// through an attached worker-rank pool (default 4096; -1 disables
+	// distributed routing even with a pool attached).
+	DistThreshold int
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +69,11 @@ func (c Config) withDefaults() Config {
 	} else if c.MaxPoints < 0 {
 		c.MaxPoints = 0
 	}
+	if c.DistThreshold == 0 {
+		c.DistThreshold = 4096
+	} else if c.DistThreshold < 0 {
+		c.DistThreshold = 0
+	}
 	return c
 }
 
@@ -84,6 +93,7 @@ type Server struct {
 	metrics Metrics
 	sem     chan struct{}
 	start   time.Time
+	pool    *Pool // optional worker-rank pool; set before serving
 
 	callMu sync.Mutex
 	calls  map[string]*call // guarded by callMu
@@ -121,6 +131,14 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics exposes the server's counters (for tests and embedding).
 func (s *Server) Metrics() *Metrics { return &s.metrics }
 
+// AttachPool routes distributed-eligible requests through a worker-rank
+// pool. Attach before serving; the server does not own the pool (the caller
+// still closes it).
+func (s *Server) AttachPool(p *Pool) { s.pool = p }
+
+// Pool returns the attached worker-rank pool (nil without one).
+func (s *Server) Pool() *Pool { return s.pool }
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -136,7 +154,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len()))
+	var dist *PoolSnapshot
+	if s.pool != nil {
+		dist = s.pool.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len(), dist))
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
@@ -217,11 +239,14 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		<-s.sem
 	}()
 
-	resp, errb := s.evaluate(&req, queueWait, t0)
+	resp, status, errb := s.evaluate(ctx, &req, queueWait, t0)
 	if errb != nil {
-		s.finishCall(key, c, http.StatusInternalServerError, nil, errb)
+		s.finishCall(key, c, status, nil, errb)
 		s.metrics.Failed.Add(1)
-		writeJSON(w, http.StatusInternalServerError, *errb)
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, *errb)
 		return
 	}
 	s.metrics.Total.Observe(resp.Report.Total)
@@ -267,8 +292,10 @@ func (s *Server) awaitCall(w http.ResponseWriter, ctx context.Context, c *call, 
 	writeJSON(w, http.StatusOK, &resp)
 }
 
-// evaluate serves one admitted request through the plan cache.
-func (s *Server) evaluate(req *Request, queueWait time.Duration, t0 time.Time) (*Response, *errorBody) {
+// evaluate serves one admitted request through the plan cache. On error it
+// returns the HTTP status alongside the body (500 for evaluation failures,
+// 503 when the degraded fallback could not fit in the deadline).
+func (s *Server) evaluate(reqCtx context.Context, req *Request, queueWait time.Duration, t0 time.Time) (*Response, int, *errorBody) {
 	entry, hit, evicted := s.cache.get(req.planKey())
 	if evicted > 0 {
 		s.metrics.CacheEvicted.Add(int64(evicted))
@@ -279,7 +306,7 @@ func (s *Server) evaluate(req *Request, queueWait time.Duration, t0 time.Time) (
 		s.metrics.CacheMisses.Add(1)
 	}
 	if err := entry.ensureBuilt(req); err != nil {
-		return nil, &errorBody{Error: "plan build failed: " + err.Error()}
+		return nil, http.StatusInternalServerError, &errorBody{Error: "plan build failed: " + err.Error()}
 	}
 	var planBuild time.Duration
 	if !hit {
@@ -292,9 +319,56 @@ func (s *Server) evaluate(req *Request, queueWait time.Duration, t0 time.Time) (
 	// MaxConcurrent.
 	entry.mu.Lock()
 	defer entry.mu.Unlock()
+
+	// Distributed routing: large spec-generated requests go over the worker
+	// pool; any pool failure degrades to the in-process path below — unless
+	// the deadline already expired, which is a 503 the client should retry.
+	degraded := false
+	if s.pool != nil && req.distEligible(s.cfg.DistThreshold) {
+		s.metrics.DistRequests.Add(1)
+		pots, rep, derr := s.pool.Evaluate(reqCtx, req, entry, req.chargeVector())
+		if derr == nil {
+			s.metrics.DistOK.Add(1)
+			evalDur := time.Since(t0) - queueWait
+			s.metrics.Evaluate.Observe(evalDur)
+			s.metrics.observeTransport(rep.Runtime.Transport)
+			g := entry.plan.Graph
+			return &Response{
+				Potentials: pots,
+				Report: Report{
+					CacheHit:      hit,
+					RuntimeReused: rep.RuntimeReused,
+					QueueWait:     queueWait,
+					PlanBuild:     planBuild,
+					Evaluate:      evalDur,
+					Total:         time.Since(t0),
+					Localities:    rep.Localities,
+					Workers:       rep.Workers,
+					DAGNodes:      len(g.Nodes),
+					DAGEdges:      g.NumEdges(),
+					TasksRun:      rep.Runtime.TasksRun,
+					ParcelsSent:   rep.Runtime.ParcelsSent,
+					Steals:        rep.Runtime.Steals,
+					Distributed:   true,
+				},
+			}, 0, nil
+		}
+		s.metrics.DistFailed.Add(1)
+		if reqCtx.Err() != nil {
+			s.metrics.Deadline.Add(1)
+			return nil, http.StatusServiceUnavailable, &errorBody{
+				Error:    "distributed evaluation failed and the deadline expired: " + derr.Error(),
+				Degraded: true,
+			}
+		}
+		// Fabric down but time remains: serve in-process, marked degraded.
+		s.metrics.DegradedOK.Add(1)
+		degraded = true
+	}
+
 	ctx, err := entry.shape(req)
 	if err != nil {
-		return nil, &errorBody{Error: "evaluation context: " + err.Error()}
+		return nil, http.StatusInternalServerError, &errorBody{Error: "evaluation context: " + err.Error()}
 	}
 	if req.Trace {
 		ctx.tracer.Reset()
@@ -316,7 +390,8 @@ func (s *Server) evaluate(req *Request, queueWait time.Duration, t0 time.Time) (
 	if err != nil {
 		// Scrub the dirty mid-run state so the cached plan stays usable.
 		entry.plan.Reset()
-		return nil, &errorBody{Error: "evaluation failed: " + err.Error()}
+		return nil, http.StatusInternalServerError,
+			&errorBody{Error: "evaluation failed: " + err.Error(), Degraded: degraded}
 	}
 	s.metrics.Evaluate.Observe(evalDur)
 	s.metrics.observeTransport(rep.Runtime.Transport)
@@ -341,7 +416,8 @@ func (s *Server) evaluate(req *Request, queueWait time.Duration, t0 time.Time) (
 			TasksRun:      rep.Runtime.TasksRun,
 			ParcelsSent:   rep.Runtime.ParcelsSent,
 			Steals:        rep.Runtime.Steals,
+			Degraded:      degraded,
 		},
 		TraceJSONL: traceJSONL,
-	}, nil
+	}, 0, nil
 }

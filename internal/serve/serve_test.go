@@ -117,7 +117,7 @@ func TestServeCacheHitMatchesDirectEvaluation(t *testing.T) {
 		}
 	}
 
-	m := s.metrics.snapshot(s.cache.len())
+	m := s.metrics.snapshot(s.cache.len(), nil)
 	if m.CacheMisses != 1 || m.CacheHits != 1 {
 		t.Errorf("cache counters: %d misses, %d hits, want 1 and 1", m.CacheMisses, m.CacheHits)
 	}
@@ -426,7 +426,7 @@ func TestServeSmoke(t *testing.T) {
 		t.Error(err)
 	}
 
-	m := s.metrics.snapshot(s.cache.len())
+	m := s.metrics.snapshot(s.cache.len(), nil)
 	if m.Requests != int64(len(reqs)) {
 		t.Errorf("requests=%d, want %d", m.Requests, len(reqs))
 	}

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/amt"
+	"repro/internal/core"
+)
+
+// Worker-rank side of the serve pool. A worker is the same binary as the
+// daemon, re-executed with DASHMM_SERVE_WORKER=1 (the stamped self-exec
+// pattern from cmd/dashmm-bench): MaybeWorker intercepts startup, joins the
+// coordinator's cluster, and loops — build the broadcast job's plan from a
+// local cache, run core.DistRun as its rank, repeat — until the coordinator
+// broadcasts EXIT or disappears.
+//
+// The design is crash-only: any worker-side failure (malformed job, plan
+// build error, failed run) makes RunWorker return an error and the process
+// exit; the supervisor on rank 0 observes the death verdict and respawns a
+// fresh incarnation that REJOINs. No in-place repair, no half-alive states.
+
+// Environment variable names for the worker re-exec handshake.
+const (
+	envWorkerFlag    = "DASHMM_SERVE_WORKER"
+	envWorkerRank    = "DASHMM_SERVE_RANK"
+	envWorkerWorld   = "DASHMM_SERVE_WORLD"
+	envWorkerNet     = "DASHMM_SERVE_NET"
+	envWorkerAddr    = "DASHMM_SERVE_ADDR"
+	envWorkerStamp   = "DASHMM_SERVE_STAMP"
+	envWorkerThreads = "DASHMM_SERVE_THREADS"
+	envWorkerRejoin  = "DASHMM_SERVE_REJOIN"
+	envWorkerHBMS    = "DASHMM_SERVE_HB_MS"
+	envWorkerHBMiss  = "DASHMM_SERVE_HB_MISS"
+	envWorkerJoinMS  = "DASHMM_SERVE_JOIN_MS"
+)
+
+// WorkerEnv is the spawn contract between the supervisor and a worker
+// process.
+type WorkerEnv struct {
+	Rank, World int
+	Network     string
+	Addr        string
+	Stamp       string
+	Threads     int
+	Rejoin      bool
+	Heartbeat   amt.FailureDetectorConfig
+	JoinTimeout time.Duration
+}
+
+// environ renders the env entries the supervisor appends to the worker's
+// command environment.
+func (e WorkerEnv) environ() []string {
+	rejoin := "0"
+	if e.Rejoin {
+		rejoin = "1"
+	}
+	return []string{
+		envWorkerFlag + "=1",
+		envWorkerRank + "=" + strconv.Itoa(e.Rank),
+		envWorkerWorld + "=" + strconv.Itoa(e.World),
+		envWorkerNet + "=" + e.Network,
+		envWorkerAddr + "=" + e.Addr,
+		envWorkerStamp + "=" + e.Stamp,
+		envWorkerThreads + "=" + strconv.Itoa(e.Threads),
+		envWorkerRejoin + "=" + rejoin,
+		envWorkerHBMS + "=" + strconv.FormatInt(e.Heartbeat.Interval.Milliseconds(), 10),
+		envWorkerHBMiss + "=" + strconv.Itoa(e.Heartbeat.MissedBeats),
+		envWorkerJoinMS + "=" + strconv.FormatInt(e.JoinTimeout.Milliseconds(), 10),
+	}
+}
+
+func workerEnvFromOS() (WorkerEnv, error) {
+	geti := func(key string) (int, error) {
+		v, err := strconv.Atoi(os.Getenv(key))
+		if err != nil {
+			return 0, fmt.Errorf("%s=%q: %w", key, os.Getenv(key), err)
+		}
+		return v, nil
+	}
+	var e WorkerEnv
+	var err error
+	if e.Rank, err = geti(envWorkerRank); err != nil {
+		return e, err
+	}
+	if e.World, err = geti(envWorkerWorld); err != nil {
+		return e, err
+	}
+	if e.Threads, err = geti(envWorkerThreads); err != nil {
+		return e, err
+	}
+	hbms, err := geti(envWorkerHBMS)
+	if err != nil {
+		return e, err
+	}
+	if e.Heartbeat.MissedBeats, err = geti(envWorkerHBMiss); err != nil {
+		return e, err
+	}
+	joinms, err := geti(envWorkerJoinMS)
+	if err != nil {
+		return e, err
+	}
+	e.Heartbeat.Interval = time.Duration(hbms) * time.Millisecond
+	e.JoinTimeout = time.Duration(joinms) * time.Millisecond
+	e.Network = os.Getenv(envWorkerNet)
+	e.Addr = os.Getenv(envWorkerAddr)
+	e.Stamp = os.Getenv(envWorkerStamp)
+	e.Rejoin = os.Getenv(envWorkerRejoin) == "1"
+	return e, nil
+}
+
+// MaybeWorker intercepts a process started as a pool worker: if the worker
+// environment flag is set it runs the worker loop and exits the process
+// (status 0 on a clean EXIT, 1 on any error). Call it first thing in main
+// (and in TestMain for packages whose tests spawn pools). Returns false in
+// an ordinary daemon process.
+func MaybeWorker() bool {
+	if os.Getenv(envWorkerFlag) != "1" {
+		return false
+	}
+	env, err := workerEnvFromOS()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dashmm-serve worker: bad environment:", err)
+		os.Exit(1)
+	}
+	if err := RunWorker(env); err != nil {
+		fmt.Fprintln(os.Stderr, "dashmm-serve worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+	return true
+}
+
+// RunWorker joins the pool's cluster and serves jobs until the coordinator
+// broadcasts EXIT (nil) or anything fails (error). Exported for tests; the
+// daemon reaches it through MaybeWorker.
+func RunWorker(env WorkerEnv) error {
+	cl, err := amt.NewCluster(amt.ClusterConfig{
+		Rank:        env.Rank,
+		World:       env.World,
+		Network:     env.Network,
+		Addr:        env.Addr,
+		Stamp:       env.Stamp,
+		Heartbeat:   env.Heartbeat,
+		JoinTimeout: env.JoinTimeout,
+		Rejoin:      env.Rejoin,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	// Jobs arrive on the control goroutine; run them here so the control
+	// loop stays responsive (verdicts, membership updates) during a run.
+	type jobMsg struct {
+		gen     uint32
+		payload []byte
+	}
+	jobs := make(chan jobMsg, 4)
+	cl.OnJob(func(gen uint32, payload []byte) {
+		select {
+		case jobs <- jobMsg{gen: gen, payload: append([]byte(nil), payload...)}:
+		default:
+			// Jobs are serialized on rank 0; a full buffer means this worker
+			// is wedged beyond repair. Crash-only: die, respawn.
+			panic("serve: worker job buffer overrun")
+		}
+	})
+	if err := cl.Start(); err != nil {
+		return err
+	}
+
+	// Plans cached across jobs, exactly like the daemon's cache: a pool
+	// serving a warm key re-runs without rebuilding anything.
+	cache := newPlanCache(8)
+	for {
+		select {
+		case <-cl.Done():
+			return nil
+		case j := <-jobs:
+			if err := runWorkerJob(cl, cache, env.Threads, j.gen, j.payload); err != nil {
+				return fmt.Errorf("rank %d job (gen %d): %w", env.Rank, j.gen, err)
+			}
+		}
+	}
+}
+
+// runWorkerJob executes one broadcast job on a worker rank.
+func runWorkerJob(cl *amt.Cluster, cache *planCache, threads int, gen uint32, payload []byte) error {
+	spec, err := decodeJobSpec(payload)
+	if err != nil {
+		return fmt.Errorf("bad job payload: %w", err)
+	}
+	req, err := spec.planRequest()
+	if err != nil {
+		return fmt.Errorf("bad job scenario: %w", err)
+	}
+	entry, _, _ := cache.get(req.planKey())
+	if err := entry.ensureBuilt(req); err != nil {
+		return fmt.Errorf("plan build: %w", err)
+	}
+	// The worker's own timeout backstops a vanished run; it sits a grace
+	// margin above rank 0's budget so the coordinator always times out
+	// first and resolves the run (Shutdown) for everyone. Without the
+	// margin, one slow request would mass-expire every worker at once.
+	timeout := time.Duration(spec.TimeoutMS)*time.Millisecond + 15*time.Second
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	_, _, err = core.DistRun(entry.plan, cl, nil, core.DistOptions{
+		Workers:    threads,
+		Seed:       spec.RunSeed,
+		Timeout:    timeout,
+		Generation: gen,
+		PreDead:    spec.PreDead,
+	})
+	return err
+}
