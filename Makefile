@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint fmt-check bench bench-smoke bench-serve serve-smoke serve-chaos chaos chaos-short chaos-crash dist-smoke ci
+.PHONY: build test race vet lint fmt-check bench bench-smoke bench-serve bench-load load-smoke serve-smoke serve-chaos chaos chaos-short chaos-crash dist-smoke ci
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,19 @@ serve-chaos:
 bench-serve:
 	scripts/bench.sh serve
 
+# Production load harness: a live dashmm-serve (persistent plan store in a
+# scratch dir) driven through scripted cold/warm/mixed phases with open-loop
+# Poisson arrivals and Zipf-skewed tenant keys; writes BENCH_load.json with
+# per-phase p50/p99/p999 and shed/deadline/coalesce/degraded rates.
+bench-load:
+	scripts/bench.sh load
+
+# Short harness run against a live server: asserts the emitted
+# BENCH_load.json is well-formed and that warm traffic actually hit the
+# plan cache (nonzero warm hits), exiting non-zero otherwise.
+load-smoke:
+	LOAD_PHASES="cold:2s:5,warm:4s:20" scripts/bench.sh load
+
 # Chaos harness: full cube/sphere x Laplace/Yukawa evaluations over a
 # fault-injected parcel wire (drop/duplicate/reorder/slow-rank), gated at
 # 1e-12 against the fault-free potentials. chaos-short keeps only the
@@ -86,4 +99,4 @@ chaos-crash:
 dist-smoke: build
 	$(GO) run ./cmd/dashmm-bench -real -n 20000 -locs 4 -net unix -kill-rank 2 -kill-at 0.5
 
-ci: build vet fmt-check lint test race serve-smoke serve-chaos chaos-short chaos-crash dist-smoke bench-smoke
+ci: build vet fmt-check lint test race serve-smoke serve-chaos chaos-short chaos-crash dist-smoke bench-smoke load-smoke

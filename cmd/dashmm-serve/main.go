@@ -56,6 +56,7 @@ func main() {
 		deadline   = flag.Duration("default-deadline", 30*time.Second, "deadline for requests without deadline_ms")
 		maxPoints  = flag.Int("max-points", 200000, "largest accepted ensemble (-1 = unlimited)")
 		drainGrace = flag.Duration("drain", 10*time.Second, "shutdown grace period")
+		storeDir   = flag.String("store", "", "persistent plan-store directory (empty = no spill/recovery)")
 
 		workers     = flag.Int("workers", 0, "worker-rank pool size (0 = in-process only)")
 		distNet     = flag.String("dist-net", "unix", "pool transport: unix or tcp")
@@ -72,6 +73,20 @@ func main() {
 		MaxPoints:       *maxPoints,
 		DistThreshold:   *distThresh,
 	})
+
+	if *storeDir != "" {
+		st, err := serve.OpenStore(*storeDir)
+		if err != nil {
+			log.Fatalf("dashmm-serve: %v", err)
+		}
+		srv.UseStore(st)
+		recovered, skipped, err := srv.RecoverFromStore()
+		if err != nil {
+			log.Fatalf("dashmm-serve: recovering plan store: %v", err)
+		}
+		log.Printf("dashmm-serve: plan store %s: %d plans recovered, %d unreadable records skipped",
+			*storeDir, recovered, skipped)
+	}
 
 	var pool *serve.Pool
 	if *workers > 0 {

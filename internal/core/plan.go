@@ -108,12 +108,29 @@ func NewPlan(sources, targets []geom.Point, k kernel.Kernel, opts Options) (*Pla
 		src = tree.Build(sources, dom, o.Threshold)
 		tgt = tree.Build(targets, dom, o.Threshold)
 	}
+	return NewPlanFromTrees(src, tgt, k, opts)
+}
+
+// NewPlanFromTrees assembles a plan from already-built source and target
+// trees over a shared domain: dual-tree lists, kernel tables and the
+// explicit DAG. It is the second half of NewPlan, split out so the
+// persistent plan store can revive a spilled tree skeleton (see
+// tree.FromSkeleton) without re-partitioning the ensembles. The target
+// tree's pruning marks are (re)computed here.
+func NewPlanFromTrees(src, tgt *tree.Tree, k kernel.Kernel, opts Options) (*Plan, error) {
+	if src == nil || tgt == nil || len(src.Pts) == 0 || len(tgt.Pts) == 0 {
+		return nil, fmt.Errorf("core: empty tree")
+	}
+	if src.Domain != tgt.Domain {
+		return nil, fmt.Errorf("core: source and target trees disagree on the domain")
+	}
+	o := opts.withDefaults()
 	lists := tree.DualLists(tgt, src)
 	maxLevel := src.MaxLevel
 	if tgt.MaxLevel > maxLevel {
 		maxLevel = tgt.MaxLevel
 	}
-	k.Prepare(dom.Side, maxLevel+1)
+	k.Prepare(src.Domain.Side, maxLevel+1)
 	g := dag.Build(dag.Config{Method: o.Method, Theta: o.Theta}, src, tgt, lists, k)
 	return &Plan{
 		Kernel: k, Source: src, Target: tgt, Lists: lists, Graph: g, opts: o,

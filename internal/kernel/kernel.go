@@ -128,6 +128,9 @@ type base struct {
 	// m2lCacheOff disables the cached M->L path (SetM2LCache), so the
 	// accuracy tests can compare it against pure projection.
 	m2lCacheOff bool
+	// pwPending holds imported plane-wave matrices (ImportOperators) until
+	// Prepare builds the level tables that adopt them (see preparePW).
+	pwPending map[xlKey][]complex128
 }
 
 type sphNode struct {

@@ -150,12 +150,36 @@ func (b *base) preparePW(rootSide float64, maxLevel int) {
 	for l := 0; l <= maxLevel; l++ {
 		side := rootSide / float64(int64(1)<<uint(l))
 		uh, muh, wh := b.pwNodes(side)
-		t.levels = append(t.levels, &pwLevel{
+		lv := &pwLevel{
 			rule: makeRule(uh, muh, wh, side, b.pwParams),
 			side: side,
-		})
+		}
+		b.adoptPendingPW(lv)
+		t.levels = append(t.levels, lv)
 	}
 	b.pw = t
+}
+
+// adoptPendingPW installs imported plane-wave matrices (ImportOperators)
+// whose side matches this level bit-exactly and whose sizes match the
+// level's quadrature rule — a record from different accuracy settings must
+// not corrupt the tables. An adopted direction trips its once so matrices()
+// never rebuilds it.
+func (b *base) adoptPendingPW(lv *pwLevel) {
+	if len(b.pwPending) == 0 {
+		return
+	}
+	sq := sphharm.SqSize(b.p)
+	sideBits := math.Float64bits(lv.side)
+	for dir := geom.Direction(0); dir < geom.NumDirections; dir++ {
+		m2i := b.pwPending[xlKey{kind: pwM2IKind, sideBits: sideBits, ox: int8(dir)}]
+		i2l := b.pwPending[xlKey{kind: pwI2LKind, sideBits: sideBits, ox: int8(dir)}]
+		if len(m2i) != lv.rule.total*sq || len(i2l) != sq*lv.rule.total {
+			continue
+		}
+		lv.m2i[dir], lv.i2l[dir] = m2i, i2l
+		lv.once[dir].Do(func() {})
+	}
 }
 
 func (t *pwTables) level(l int) *pwLevel {

@@ -1,0 +1,201 @@
+// Package load is the production load harness for dashmm-serve: it drives
+// the daemon over HTTP with open-loop (Poisson) arrivals whose plan keys
+// follow a Zipf distribution across simulated tenants, through scripted
+// cold / warm / mixed phases, and records per-phase latency quantiles and
+// shed / deadline / coalesce / degraded rates. The whole request schedule
+// is precomputed from one seed, so a run is reproducible end to end: same
+// seed, same arrival times, same key sequence.
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Phase kinds. A cold phase requests globally unique plan keys (every
+// request is a guaranteed plan build — or a store hit after a restart); a
+// warm phase draws tenants from the Zipf distribution over keys primed
+// before the first warm/mixed phase; a mixed phase is warm traffic with a
+// cold fraction folded in.
+const (
+	KindCold  = "cold"
+	KindWarm  = "warm"
+	KindMixed = "mixed"
+	// KindPrime labels the synthetic serial phase the runner inserts to
+	// build each tenant's plan before the first warm or mixed phase.
+	KindPrime = "prime"
+)
+
+// PhaseSpec scripts one phase of the run.
+type PhaseSpec struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // cold | warm | mixed
+	// Duration bounds the phase's arrival process.
+	Duration time.Duration `json:"duration_ns"`
+	// RateRPS is the open-loop Poisson arrival rate (requests/second).
+	RateRPS float64 `json:"rate_rps"`
+	// ColdFraction of a mixed phase's arrivals request unique keys.
+	ColdFraction float64 `json:"cold_fraction,omitempty"`
+}
+
+// Config configures a harness run.
+type Config struct {
+	BaseURL string `json:"base_url"`
+	// Seed drives the whole schedule: arrival times, tenant draws, cold-key
+	// sequence and charge-seed variants.
+	Seed int64 `json:"seed"`
+	// Tenants is the number of distinct warm plan keys.
+	Tenants int `json:"tenants"`
+	// ZipfS / ZipfV shape the tenant skew (math/rand Zipf; s > 1, v >= 1).
+	ZipfS float64 `json:"zipf_s"`
+	ZipfV float64 `json:"zipf_v"`
+	// N, Digits, Threshold, Workers shape every evaluation request.
+	N         int `json:"n"`
+	Digits    int `json:"digits"`
+	Threshold int `json:"threshold,omitempty"`
+	Workers   int `json:"workers"`
+	// ChargeVariants cycles a small set of charge seeds per plan key, so
+	// identical concurrent requests exercise the coalescing path.
+	ChargeVariants int `json:"charge_variants"`
+	// DeadlineMS is forwarded on every request (0 = server default).
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// MaxInflight caps concurrently outstanding requests; an arrival that
+	// would exceed it is counted client-dropped, keeping the generator
+	// open-loop (it never blocks the clock) without drowning the client.
+	MaxInflight int `json:"max_inflight"`
+
+	Phases []PhaseSpec `json:"phases"`
+}
+
+// Seed bases separating the warm tenant keyspace from the cold unique
+// keyspace. Warm tenant t requests Seed warmSeedBase+t; cold request i
+// (numbered across the whole run) requests coldSeedBase+i. Request seed 0
+// means "server default", so both bases stay positive.
+const (
+	warmSeedBase = 100
+	coldSeedBase = 1 << 20
+)
+
+// Defaults fills unset fields with sensible values and validates the rest.
+func (c *Config) Defaults() error {
+	if c.BaseURL == "" {
+		c.BaseURL = "http://localhost:8075"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 8
+	}
+	if c.Tenants > coldSeedBase-warmSeedBase {
+		return fmt.Errorf("load: %d tenants collide with the cold keyspace", c.Tenants)
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.2
+	}
+	if c.ZipfS <= 1 {
+		return fmt.Errorf("load: zipf s must be > 1, got %g", c.ZipfS)
+	}
+	if c.ZipfV == 0 {
+		c.ZipfV = 1
+	}
+	if c.ZipfV < 1 {
+		return fmt.Errorf("load: zipf v must be >= 1, got %g", c.ZipfV)
+	}
+	if c.N == 0 {
+		c.N = 4000
+	}
+	if c.N < 0 {
+		return fmt.Errorf("load: n must be positive")
+	}
+	if c.Digits == 0 {
+		c.Digits = 3
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.ChargeVariants <= 0 {
+		c.ChargeVariants = 4
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 512
+	}
+	if len(c.Phases) == 0 {
+		return fmt.Errorf("load: no phases scripted")
+	}
+	for i := range c.Phases {
+		p := &c.Phases[i]
+		switch p.Kind {
+		case KindCold, KindWarm, KindMixed:
+		default:
+			return fmt.Errorf("load: phase %d has unknown kind %q", i, p.Kind)
+		}
+		if p.Name == "" {
+			p.Name = fmt.Sprintf("%s-%d", p.Kind, i)
+		}
+		if p.Duration <= 0 {
+			return fmt.Errorf("load: phase %q has no duration", p.Name)
+		}
+		if p.RateRPS <= 0 {
+			return fmt.Errorf("load: phase %q has no arrival rate", p.Name)
+		}
+		if p.ColdFraction < 0 || p.ColdFraction > 1 {
+			return fmt.Errorf("load: phase %q cold fraction %g out of [0,1]", p.Name, p.ColdFraction)
+		}
+	}
+	return nil
+}
+
+// Arrival is one scheduled request: when to fire it (offset from the phase
+// start) and which plan key / charge vector it asks for.
+type Arrival struct {
+	At time.Duration
+	// Seed is the request's plan seed: warmSeedBase+tenant for warm
+	// traffic, coldSeedBase+i for cold.
+	Seed int64
+	// Tenant is the Zipf draw for warm traffic, -1 for cold.
+	Tenant int
+	// ChargeSeed cycles ChargeVariants values so duplicate in-flight
+	// requests coalesce.
+	ChargeSeed int64
+}
+
+// Schedule precomputes every phase's arrival sequence from the config seed.
+// The schedule depends only on the config, never on the wall clock, so two
+// runs with one seed issue the identical request sequence.
+func Schedule(cfg *Config) ([][]Arrival, error) {
+	if err := cfg.Defaults(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(cfg.Tenants-1))
+	phases := make([][]Arrival, len(cfg.Phases))
+	cold := 0
+	for pi, spec := range cfg.Phases {
+		var arrivals []Arrival
+		t := time.Duration(0)
+		for {
+			// Exponential inter-arrival times make the process Poisson.
+			dt := time.Duration(rng.ExpFloat64() / spec.RateRPS * float64(time.Second))
+			t += dt
+			if t >= spec.Duration {
+				break
+			}
+			a := Arrival{At: t, ChargeSeed: 1 + int64(rng.Intn(cfg.ChargeVariants))}
+			isCold := spec.Kind == KindCold ||
+				(spec.Kind == KindMixed && rng.Float64() < spec.ColdFraction)
+			if isCold {
+				a.Tenant = -1
+				a.Seed = coldSeedBase + int64(cold)
+				cold++
+			} else {
+				a.Tenant = int(zipf.Uint64())
+				a.Seed = warmSeedBase + int64(a.Tenant)
+			}
+			arrivals = append(arrivals, a)
+		}
+		phases[pi] = arrivals
+	}
+	return phases, nil
+}

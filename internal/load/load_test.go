@@ -1,0 +1,260 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func testConfig() Config {
+	return Config{
+		Seed:    7,
+		Tenants: 6,
+		Phases: []PhaseSpec{
+			{Kind: KindCold, Duration: 2 * time.Second, RateRPS: 20},
+			{Kind: KindWarm, Duration: 2 * time.Second, RateRPS: 50},
+			{Kind: KindMixed, Duration: 2 * time.Second, RateRPS: 50, ColdFraction: 0.25},
+		},
+	}
+}
+
+// The schedule is a pure function of the config: same seed, identical
+// arrivals; different seed, a different schedule.
+func TestScheduleDeterministicUnderSeed(t *testing.T) {
+	c1, c2 := testConfig(), testConfig()
+	s1, err := Schedule(&c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Schedule(&c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Error("two schedules from one seed differ")
+	}
+	c3 := testConfig()
+	c3.Seed = 8
+	s3, err := Schedule(&c3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(s1, s3) {
+		t.Error("different seeds produced the identical schedule")
+	}
+}
+
+// Phase arrivals respect the script: strictly increasing offsets within the
+// duration, cold phases use globally unique never-repeating keys, warm
+// phases draw Zipf-skewed tenants (most traffic on the head tenant), and
+// mixed phases fold in roughly the scripted cold fraction.
+func TestSchedulePhaseShapes(t *testing.T) {
+	cfg := testConfig()
+	cfg.Phases[1].Duration = 20 * time.Second // more warm draws for the skew check
+	phases, err := Schedule(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 3 {
+		t.Fatalf("%d phases, want 3", len(phases))
+	}
+
+	seenCold := map[int64]bool{}
+	for pi, arrivals := range phases {
+		spec := cfg.Phases[pi]
+		if len(arrivals) == 0 {
+			t.Fatalf("phase %d scheduled no arrivals", pi)
+		}
+		last := time.Duration(-1)
+		for _, a := range arrivals {
+			if a.At <= last {
+				t.Fatalf("phase %d arrivals not strictly increasing: %v after %v", pi, a.At, last)
+			}
+			last = a.At
+			if a.At >= spec.Duration {
+				t.Fatalf("phase %d arrival at %v beyond duration %v", pi, a.At, spec.Duration)
+			}
+			if a.ChargeSeed < 1 || a.ChargeSeed > int64(cfg.ChargeVariants) {
+				t.Fatalf("charge seed %d out of [1,%d]", a.ChargeSeed, cfg.ChargeVariants)
+			}
+			if a.Tenant == -1 {
+				if a.Seed < coldSeedBase {
+					t.Fatalf("cold arrival with warm seed %d", a.Seed)
+				}
+				if seenCold[a.Seed] {
+					t.Fatalf("cold key %d repeats", a.Seed)
+				}
+				seenCold[a.Seed] = true
+			} else {
+				if want := warmSeedBase + int64(a.Tenant); a.Seed != want {
+					t.Fatalf("tenant %d has seed %d, want %d", a.Tenant, a.Seed, want)
+				}
+			}
+		}
+		// Expected count for a Poisson process is rate*duration; allow wide
+		// slack (5 sigma-ish) so the test never flakes.
+		mean := spec.RateRPS * spec.Duration.Seconds()
+		if f := float64(len(arrivals)); f < mean/2 || f > mean*2 {
+			t.Errorf("phase %d scheduled %d arrivals for mean %g", pi, len(arrivals), mean)
+		}
+	}
+
+	// Cold phase: every arrival cold.
+	for _, a := range phases[0] {
+		if a.Tenant != -1 {
+			t.Fatal("cold phase scheduled a warm arrival")
+		}
+	}
+	// Warm phase: every arrival warm, and the head tenant dominates.
+	counts := make([]int, cfg.Tenants)
+	for _, a := range phases[1] {
+		if a.Tenant < 0 || a.Tenant >= cfg.Tenants {
+			t.Fatalf("warm arrival tenant %d out of range", a.Tenant)
+		}
+		counts[a.Tenant]++
+	}
+	for tnt := 1; tnt < cfg.Tenants; tnt++ {
+		if counts[tnt] > counts[0] {
+			t.Errorf("tenant %d drew %d > head tenant's %d (Zipf skew inverted)",
+				tnt, counts[tnt], counts[0])
+		}
+	}
+	// Mixed phase: cold fraction in a generous band around the script.
+	cold := 0
+	for _, a := range phases[2] {
+		if a.Tenant == -1 {
+			cold++
+		}
+	}
+	frac := float64(cold) / float64(len(phases[2]))
+	if frac < 0.05 || frac > 0.60 {
+		t.Errorf("mixed phase cold fraction %.2f far from scripted 0.25", frac)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Phases: []PhaseSpec{{Kind: "hot", Duration: time.Second, RateRPS: 1}}},
+		{Phases: []PhaseSpec{{Kind: KindCold, RateRPS: 1}}},
+		{Phases: []PhaseSpec{{Kind: KindCold, Duration: time.Second}}},
+		{Phases: []PhaseSpec{{Kind: KindMixed, Duration: time.Second, RateRPS: 1, ColdFraction: 2}}},
+		{ZipfS: 0.5, Phases: []PhaseSpec{{Kind: KindCold, Duration: time.Second, RateRPS: 1}}},
+		{}, // no phases
+	}
+	for i, cfg := range bad {
+		if err := cfg.Defaults(); err == nil {
+			t.Errorf("config %d validated", i)
+		}
+	}
+}
+
+// End-to-end harness run against an in-process daemon: a short cold/warm
+// script produces a well-formed Output whose warm phase hits the cache, and
+// Verify accepts the emitted JSON.
+func TestRunnerAgainstLiveServer(t *testing.T) {
+	s := serve.New(serve.Config{MaxQueue: 256, MaxConcurrent: 4, CacheSize: 32})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	runner, err := NewRunner(Config{
+		BaseURL: ts.URL,
+		Seed:    3,
+		Tenants: 3,
+		N:       600,
+		Phases: []PhaseSpec{
+			{Kind: KindCold, Duration: 500 * time.Millisecond, RateRPS: 10},
+			{Kind: KindWarm, Duration: 500 * time.Millisecond, RateRPS: 30},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := runner.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// cold, prime, warm.
+	if len(out.Phases) != 3 {
+		t.Fatalf("%d phases, want 3 (cold, prime, warm)", len(out.Phases))
+	}
+	if out.Phases[0].Kind != KindCold || out.Phases[1].Kind != KindPrime || out.Phases[2].Kind != KindWarm {
+		t.Fatalf("phase order %q %q %q", out.Phases[0].Kind, out.Phases[1].Kind, out.Phases[2].Kind)
+	}
+	warm := out.Phases[2]
+	if warm.OK == 0 {
+		t.Fatal("warm phase served nothing")
+	}
+	if warm.CacheHits == 0 {
+		t.Error("warm phase recorded no cache hits")
+	}
+	if out.Server == nil {
+		t.Error("server metrics delta missing")
+	} else if out.Server.OK == 0 {
+		t.Error("server metrics delta recorded no OKs")
+	}
+
+	data, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(data, true); err != nil {
+		t.Errorf("emitted output fails verification: %v", err)
+	}
+}
+
+func TestVerifyRejectsMalformedOutputs(t *testing.T) {
+	ok := Output{
+		Bench: "load",
+		Phases: []PhaseResult{{
+			Name: "warm-0", Kind: KindWarm,
+			Offered: 10, Sent: 9, ClientDropped: 1,
+			OK: 8, Shed: 1, CacheHits: 4,
+			P50US: 10, P99US: 20, P999US: 20, MaxUS: 25,
+		}},
+	}
+	enc := func(o Output) []byte {
+		b, err := json.Marshal(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if err := Verify(enc(ok), true); err != nil {
+		t.Fatalf("valid output rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(o *Output)
+	}{
+		{"wrong bench tag", func(o *Output) { o.Bench = "hotpath" }},
+		{"no phases", func(o *Output) { o.Phases = nil }},
+		{"outcomes do not add up", func(o *Output) { o.Phases[0].OK++ }},
+		{"offered mismatch", func(o *Output) { o.Phases[0].Offered++ }},
+		{"quantiles not monotone", func(o *Output) { o.Phases[0].P50US = 100 }},
+		{"unknown kind", func(o *Output) { o.Phases[0].Kind = "tepid" }},
+	}
+	for _, tc := range cases {
+		o := ok
+		o.Phases = append([]PhaseResult(nil), ok.Phases...)
+		tc.mutate(&o)
+		if err := Verify(enc(o), false); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if err := Verify([]byte("{not json"), false); err == nil {
+		t.Error("non-JSON accepted")
+	}
+	noHits := ok
+	noHits.Phases = append([]PhaseResult(nil), ok.Phases...)
+	noHits.Phases[0].CacheHits = 0
+	if err := Verify(enc(noHits), true); err == nil {
+		t.Error("zero warm hits accepted with -require-warm-hits")
+	}
+}

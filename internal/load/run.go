@@ -1,0 +1,382 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// PhaseResult is the harness's measurement of one phase. Latency quantiles
+// are exact (computed from the sorted OK latencies, not a histogram).
+type PhaseResult struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+
+	Offered       int `json:"offered"`        // scheduled arrivals
+	Sent          int `json:"sent"`           // actually issued
+	ClientDropped int `json:"client_dropped"` // skipped at the in-flight cap
+	OK            int `json:"ok"`
+	Shed          int `json:"shed"`     // HTTP 429
+	Deadline      int `json:"deadline"` // HTTP 503
+	Errors        int `json:"errors"`   // anything else
+
+	Coalesced int `json:"coalesced"`
+	Degraded  int `json:"degraded"`
+	CacheHits int `json:"cache_hits"`
+	StoreHits int `json:"store_hits"`
+
+	P50US  int64 `json:"p50_us"`
+	P99US  int64 `json:"p99_us"`
+	P999US int64 `json:"p999_us"`
+	MeanUS int64 `json:"mean_us"`
+	MaxUS  int64 `json:"max_us"`
+
+	DurationS   float64 `json:"duration_s"`
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+}
+
+// Output is the BENCH_load.json schema.
+type Output struct {
+	Bench  string        `json:"bench"` // always "load"
+	Config Config        `json:"config"`
+	Phases []PhaseResult `json:"phases"`
+	// Server carries the daemon's /metrics deltas over the run when the
+	// endpoint was reachable.
+	Server *ServerDelta `json:"server,omitempty"`
+}
+
+// ServerDelta is the change in the daemon's own counters across the run —
+// the server-side view the per-request reports cannot give (e.g. plans
+// spilled to the store, evictions).
+type ServerDelta struct {
+	Requests     int64 `json:"requests"`
+	OK           int64 `json:"ok"`
+	Shed         int64 `json:"shed"`
+	Deadline     int64 `json:"deadline"`
+	Failed       int64 `json:"failed"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEvicted int64 `json:"cache_evicted"`
+	Coalesced    int64 `json:"coalesced"`
+	DegradedOK   int64 `json:"degraded"`
+	StoreHits    int64 `json:"store_hits"`
+	StoreWrites  int64 `json:"store_writes"`
+	StoreBytes   int64 `json:"store_bytes"`
+}
+
+// phaseAcc accumulates one phase's responses under a lock.
+type phaseAcc struct {
+	mu  sync.Mutex
+	res PhaseResult
+	lat []int64 // OK latencies, microseconds
+}
+
+func (a *phaseAcc) record(code int, resp *serve.Response, lat time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch code {
+	case http.StatusOK:
+		a.res.OK++
+		a.lat = append(a.lat, lat.Microseconds())
+		if resp.Report.Coalesced {
+			a.res.Coalesced++
+		}
+		if resp.Report.Degraded {
+			a.res.Degraded++
+		}
+		if resp.Report.CacheHit {
+			a.res.CacheHits++
+		}
+		if resp.Report.StoreHit {
+			a.res.StoreHits++
+		}
+	case http.StatusTooManyRequests:
+		a.res.Shed++
+	case http.StatusServiceUnavailable:
+		a.res.Deadline++
+	default:
+		a.res.Errors++
+	}
+}
+
+// finish computes the derived fields. Quantiles use the nearest-rank method
+// on the sorted OK latencies.
+func (a *phaseAcc) finish(wall time.Duration) PhaseResult {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := a.res
+	sort.Slice(a.lat, func(i, j int) bool { return a.lat[i] < a.lat[j] })
+	quantile := func(q float64) int64 {
+		if len(a.lat) == 0 {
+			return 0
+		}
+		i := int(q*float64(len(a.lat))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(a.lat) {
+			i = len(a.lat) - 1
+		}
+		return a.lat[i]
+	}
+	r.P50US = quantile(0.50)
+	r.P99US = quantile(0.99)
+	r.P999US = quantile(0.999)
+	if n := len(a.lat); n > 0 {
+		r.MaxUS = a.lat[n-1]
+		var sum int64
+		for _, v := range a.lat {
+			sum += v
+		}
+		r.MeanUS = sum / int64(n)
+	}
+	r.DurationS = wall.Seconds()
+	if wall > 0 {
+		r.OfferedRPS = float64(r.Offered) / wall.Seconds()
+		r.AchievedRPS = float64(r.OK) / wall.Seconds()
+	}
+	return r
+}
+
+// Runner drives one scheduled run against a live daemon.
+type Runner struct {
+	cfg    *Config
+	client *http.Client
+}
+
+// NewRunner validates the config (applying defaults) and returns a runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if err := cfg.Defaults(); err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: &cfg, client: &http.Client{}}, nil
+}
+
+// Config returns the runner's defaulted config.
+func (r *Runner) Config() Config { return *r.cfg }
+
+func (r *Runner) request(a Arrival) serve.Request {
+	return serve.Request{
+		N:          r.cfg.N,
+		Seed:       a.Seed,
+		Digits:     r.cfg.Digits,
+		Threshold:  r.cfg.Threshold,
+		Workers:    r.cfg.Workers,
+		ChargeSeed: a.ChargeSeed,
+		DeadlineMS: r.cfg.DeadlineMS,
+	}
+}
+
+// post issues one evaluation request, returning the HTTP status (0 on a
+// transport error) and the decoded body for 200s.
+func (r *Runner) post(ctx context.Context, req serve.Request) (int, *serve.Response) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		r.cfg.BaseURL+"/evaluate", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hr, err := r.client.Do(hreq)
+	if err != nil {
+		return 0, nil
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		return hr.StatusCode, nil
+	}
+	var resp serve.Response
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		return 0, nil
+	}
+	return hr.StatusCode, &resp
+}
+
+// metricsSnapshot fetches /metrics; nil (not an error) when unreachable.
+func (r *Runner) metricsSnapshot(ctx context.Context) *serve.MetricsSnapshot {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil
+	}
+	hr, err := r.client.Do(hreq)
+	if err != nil {
+		return nil
+	}
+	defer hr.Body.Close()
+	var m serve.MetricsSnapshot
+	if json.NewDecoder(hr.Body).Decode(&m) != nil {
+		return nil
+	}
+	return &m
+}
+
+// Run executes the scheduled phases in order. Before the first warm or
+// mixed phase it primes every tenant's plan serially (reported as a
+// synthetic "prime" phase), so warm traffic measures the warm path, not a
+// thundering herd of builds. Phases drain fully before the next one starts,
+// keeping per-phase attribution exact.
+func (r *Runner) Run(ctx context.Context) (*Output, error) {
+	schedule, err := Schedule(r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{Bench: "load", Config: *r.cfg}
+	before := r.metricsSnapshot(ctx)
+
+	primed := false
+	for pi, spec := range r.cfg.Phases {
+		if !primed && (spec.Kind == KindWarm || spec.Kind == KindMixed) {
+			pr, err := r.prime(ctx)
+			if err != nil {
+				return nil, err
+			}
+			out.Phases = append(out.Phases, pr)
+			primed = true
+		}
+		res, err := r.runPhase(ctx, spec, schedule[pi])
+		if err != nil {
+			return nil, err
+		}
+		out.Phases = append(out.Phases, res)
+	}
+
+	if after := r.metricsSnapshot(ctx); before != nil && after != nil {
+		out.Server = &ServerDelta{
+			Requests:     after.Requests - before.Requests,
+			OK:           after.OK - before.OK,
+			Shed:         after.Shed - before.Shed,
+			Deadline:     after.Deadline - before.Deadline,
+			Failed:       after.Failed - before.Failed,
+			CacheHits:    after.CacheHits - before.CacheHits,
+			CacheMisses:  after.CacheMisses - before.CacheMisses,
+			CacheEvicted: after.CacheEvicted - before.CacheEvicted,
+			Coalesced:    after.Coalesced - before.Coalesced,
+			DegradedOK:   after.DegradedOK - before.DegradedOK,
+			StoreHits:    after.StoreHits - before.StoreHits,
+			StoreWrites:  after.StoreWrites - before.StoreWrites,
+			StoreBytes:   after.StoreBytes - before.StoreBytes,
+		}
+	}
+	return out, nil
+}
+
+// prime serially evaluates each tenant key once.
+func (r *Runner) prime(ctx context.Context) (PhaseResult, error) {
+	acc := &phaseAcc{res: PhaseResult{Name: "prime", Kind: KindPrime}}
+	start := time.Now()
+	for tnt := 0; tnt < r.cfg.Tenants; tnt++ {
+		if err := ctx.Err(); err != nil {
+			return PhaseResult{}, err
+		}
+		acc.res.Offered++
+		acc.res.Sent++
+		t0 := time.Now()
+		code, resp := r.post(ctx, r.request(Arrival{Seed: warmSeedBase + int64(tnt), Tenant: tnt, ChargeSeed: 1}))
+		acc.record(code, resp, time.Since(t0))
+	}
+	res := acc.finish(time.Since(start))
+	if res.OK != r.cfg.Tenants {
+		return res, fmt.Errorf("load: priming built %d of %d tenant plans", res.OK, r.cfg.Tenants)
+	}
+	return res, nil
+}
+
+// runPhase fires one phase's arrivals open-loop: each request launches at
+// its scheduled offset whether or not earlier ones finished. The in-flight
+// cap sheds client-side instead of blocking the clock.
+func (r *Runner) runPhase(ctx context.Context, spec PhaseSpec, arrivals []Arrival) (PhaseResult, error) {
+	acc := &phaseAcc{res: PhaseResult{Name: spec.Name, Kind: spec.Kind, Offered: len(arrivals)}}
+	sem := make(chan struct{}, r.cfg.MaxInflight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, a := range arrivals {
+		if err := ctx.Err(); err != nil {
+			wg.Wait()
+			return PhaseResult{}, err
+		}
+		if d := a.At - time.Since(start); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				wg.Wait()
+				return PhaseResult{}, ctx.Err()
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			acc.mu.Lock()
+			acc.res.ClientDropped++
+			acc.mu.Unlock()
+			continue
+		}
+		acc.mu.Lock()
+		acc.res.Sent++
+		acc.mu.Unlock()
+		wg.Add(1)
+		go func(a Arrival) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			code, resp := r.post(ctx, r.request(a))
+			acc.record(code, resp, time.Since(t0))
+		}(a)
+	}
+	wg.Wait()
+	return acc.finish(time.Since(start)), nil
+}
+
+// Verify checks that data is a well-formed BENCH_load.json: the schema
+// decodes, phases are present and internally consistent, and (optionally)
+// warm traffic actually hit the cache. This is what `make load-smoke` gates
+// on, without needing anything beyond the Go toolchain.
+func Verify(data []byte, requireWarmHits bool) error {
+	var out Output
+	if err := json.Unmarshal(data, &out); err != nil {
+		return fmt.Errorf("load: BENCH_load.json does not decode: %w", err)
+	}
+	if out.Bench != "load" {
+		return fmt.Errorf("load: bench field is %q, want \"load\"", out.Bench)
+	}
+	if len(out.Phases) == 0 {
+		return fmt.Errorf("load: no phases recorded")
+	}
+	warmHits := 0
+	for _, p := range out.Phases {
+		switch p.Kind {
+		case KindCold, KindWarm, KindMixed, KindPrime:
+		default:
+			return fmt.Errorf("load: phase %q has unknown kind %q", p.Name, p.Kind)
+		}
+		if p.Sent != p.OK+p.Shed+p.Deadline+p.Errors {
+			return fmt.Errorf("load: phase %q outcomes do not add up: sent %d != %d+%d+%d+%d",
+				p.Name, p.Sent, p.OK, p.Shed, p.Deadline, p.Errors)
+		}
+		if p.Offered != p.Sent+p.ClientDropped {
+			return fmt.Errorf("load: phase %q offered %d != sent %d + dropped %d",
+				p.Name, p.Offered, p.Sent, p.ClientDropped)
+		}
+		if p.OK > 0 && !(p.P50US <= p.P99US && p.P99US <= p.P999US && p.P999US <= p.MaxUS) {
+			return fmt.Errorf("load: phase %q quantiles not monotone: p50=%d p99=%d p999=%d max=%d",
+				p.Name, p.P50US, p.P99US, p.P999US, p.MaxUS)
+		}
+		if p.Kind == KindWarm || p.Kind == KindMixed {
+			warmHits += p.CacheHits
+		}
+	}
+	if requireWarmHits && warmHits == 0 {
+		return fmt.Errorf("load: warm phases recorded zero cache hits")
+	}
+	return nil
+}

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/kernel"
 	"repro/internal/trace"
 )
 
@@ -26,6 +25,12 @@ type planEntry struct {
 
 	mu    sync.Mutex          // serializes build-shape + evaluate on this plan
 	evals map[string]*evalCtx // "LxW" -> context; guarded by mu
+
+	// fromStore marks an entry revived from the persistent plan store
+	// (set before the entry is published, read-only after). stored marks
+	// an entry already spilled, revived, or unspillable — guarded by mu
+	fromStore bool
+	stored    bool
 
 	lastUsed int64 // cache clock tick; guarded by planCache.mu
 }
@@ -88,6 +93,43 @@ func (c *planCache) get(key string) (e *planEntry, hit bool, evicted int) {
 	return e, false, evicted
 }
 
+// put installs a pre-built entry (plan-store recovery), evicting LRU
+// entries to make room exactly as get does. An existing entry under the
+// same key is replaced.
+func (c *planCache) put(key string, e *planEntry) (evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock++
+	if _, exists := c.entries[key]; !exists {
+		for len(c.entries) >= c.max {
+			var oldest *planEntry
+			for _, cand := range c.entries {
+				if oldest == nil || cand.lastUsed < oldest.lastUsed {
+					oldest = cand
+				}
+			}
+			delete(c.entries, oldest.key)
+			evicted++
+		}
+	}
+	e.lastUsed = c.clock
+	c.entries[key] = e
+	return evicted
+}
+
+// drop removes the entry for key if it is still e. A failed build latches
+// its error in the entry's sync.Once forever, so the entry must leave the
+// cache for the next request on the key to rebuild — without the pointer
+// check a slow failure could evict an unrelated fresh entry that already
+// replaced it.
+func (c *planCache) drop(key string, e *planEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries[key] == e {
+		delete(c.entries, key)
+	}
+}
+
 // ensureBuilt builds the plan on first use: ensembles are materialized, the
 // kernel constructed, and core.NewPlan runs the tree + list + DAG pipeline.
 // Every later request for the same key skips all of it.
@@ -95,14 +137,7 @@ func (e *planEntry) ensureBuilt(r *Request) error {
 	e.build.Do(func() {
 		start := time.Now()
 		src, tgt := r.ensembles()
-		var k kernel.Kernel
-		order := kernel.OrderForDigits(r.Digits)
-		if r.Kernel == "yukawa" {
-			k = kernel.NewYukawa(order, r.Lambda)
-		} else {
-			k = kernel.NewLaplace(order)
-		}
-		e.plan, e.buildErr = core.NewPlan(src, tgt, k, core.Options{Threshold: r.Threshold})
+		e.plan, e.buildErr = core.NewPlan(src, tgt, r.newKernel(), core.Options{Threshold: r.Threshold})
 		e.buildTime = time.Since(start)
 	})
 	return e.buildErr

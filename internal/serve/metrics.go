@@ -2,6 +2,7 @@ package serve
 
 import (
 	"math"
+	"math/bits"
 	"sync/atomic"
 	"time"
 
@@ -23,6 +24,14 @@ type Metrics struct {
 	CacheMisses  atomic.Int64 // plan built for the request
 	CacheEvicted atomic.Int64 // plans dropped by the LRU
 	Coalesced    atomic.Int64 // requests piggybacked on an identical in-flight one
+
+	// Persistent plan-store counters (all zero when serving without -store).
+	StoreRecovered atomic.Int64 // plans recovered from the store at startup
+	StoreHits      atomic.Int64 // requests served from a store-recovered plan
+	StoreWrites    atomic.Int64 // plan records spilled to the store
+	StoreBytes     atomic.Int64 // bytes written to the store
+	StoreCorrupt   atomic.Int64 // corrupt/truncated store records skipped
+	StoreFailed    atomic.Int64 // store writes that errored (disk trouble)
 
 	RuntimeReuses atomic.Int64 // evaluations on a pooled runtime generation
 	Traces        atomic.Int64 // per-request trace captures
@@ -67,9 +76,11 @@ func (m *Metrics) observeTransport(ts amt.TransportStats) {
 	m.WireStaleFenced.Add(ts.StaleFenced)
 }
 
-// histBuckets is the number of power-of-two latency buckets; bucket i
-// covers [2^i, 2^(i+1)) microseconds, bucket 0 includes everything below
-// 1µs, the last bucket is open-ended (~1.2h).
+// histBuckets is the number of power-of-two latency buckets; bucket 0
+// covers everything at or below 1µs and bucket i > 0 covers (2^(i-1), 2^i]
+// microseconds, so a duration of exactly 2^i µs lands in the bucket whose
+// "us<=2^i" label names it and the quantile upper bounds are tight at
+// boundary values. The last bucket is open-ended (> ~35min).
 const histBuckets = 32
 
 // Histogram is a lock-free log2-bucketed latency histogram in microseconds.
@@ -83,8 +94,10 @@ type Histogram struct {
 func (h *Histogram) Observe(d time.Duration) {
 	us := d.Microseconds()
 	b := 0
-	if us > 0 {
-		b = 64 - bitsLeadingZeros64(uint64(us))
+	if us > 1 {
+		// bits.Len64(us-1) is ceil(log2(us)): exact powers of two stay in
+		// their own bucket instead of rounding one bucket up.
+		b = bits.Len64(uint64(us - 1))
 		if b >= histBuckets {
 			b = histBuckets - 1
 		}
@@ -92,17 +105,6 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[b].Add(1)
 	h.count.Add(1)
 	h.sumUS.Add(us)
-}
-
-func bitsLeadingZeros64(x uint64) int {
-	n := 0
-	for i := 63; i >= 0; i-- {
-		if x&(1<<uint(i)) != 0 {
-			return n
-		}
-		n++
-	}
-	return 64
 }
 
 // HistogramSnapshot is the JSON form of a histogram.
@@ -138,7 +140,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		if i >= 63 {
 			return math.MaxInt64
 		}
-		return 1 << uint(i) // upper bound of bucket i-1... see Observe
+		return 1 << uint(i) // inclusive upper bound of bucket i (see Observe)
 	}
 	quantile := func(q float64) int64 {
 		target := int64(math.Ceil(q * float64(total)))
@@ -201,6 +203,13 @@ type MetricsSnapshot struct {
 	CachedPlans  int64 `json:"cached_plans"`
 	Coalesced    int64 `json:"coalesced"`
 
+	StoreRecovered int64 `json:"store_recovered"`
+	StoreHits      int64 `json:"store_hits"`
+	StoreWrites    int64 `json:"store_writes"`
+	StoreBytes     int64 `json:"store_bytes"`
+	StoreCorrupt   int64 `json:"store_corrupt"`
+	StoreFailed    int64 `json:"store_write_failed"`
+
 	RuntimeReuses int64 `json:"runtime_reuses"`
 	Traces        int64 `json:"traces"`
 
@@ -246,6 +255,13 @@ func (m *Metrics) snapshot(cachedPlans int, dist *PoolSnapshot) MetricsSnapshot 
 		Coalesced:     m.Coalesced.Load(),
 		RuntimeReuses: m.RuntimeReuses.Load(),
 		Traces:        m.Traces.Load(),
+
+		StoreRecovered: m.StoreRecovered.Load(),
+		StoreHits:      m.StoreHits.Load(),
+		StoreWrites:    m.StoreWrites.Load(),
+		StoreBytes:     m.StoreBytes.Load(),
+		StoreCorrupt:   m.StoreCorrupt.Load(),
+		StoreFailed:    m.StoreFailed.Load(),
 
 		DistRequests: m.DistRequests.Load(),
 		DistOK:       m.DistOK.Load(),

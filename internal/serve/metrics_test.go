@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the bucket semantics: bucket 0 holds
+// everything at or below 1µs, bucket i > 0 holds (2^(i-1), 2^i]. The
+// regression this guards: an exact power of two (us=4) used to land one
+// bucket high ("us<=8"), doubling the reported quantile upper bound at
+// boundary values.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		us     int64
+		bucket int
+	}{
+		{0, 0},
+		{1, 0},
+		{2, 1},
+		{3, 2},
+		{4, 2}, // the off-by-one: must be "us<=4", not "us<=8"
+		{5, 3},
+		{7, 3},
+		{8, 3},
+		{9, 4},
+		{16, 4},
+		{17, 5},
+		{1023, 10},
+		{1024, 10},
+		{1025, 11},
+		{1 << 31, 31},
+		{1 << 40, 31}, // clamped into the open-ended last bucket
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Observe(time.Duration(c.us) * time.Microsecond)
+		got := -1
+		for i := 0; i < histBuckets; i++ {
+			if h.buckets[i].Load() == 1 {
+				if got != -1 {
+					t.Fatalf("us=%d recorded in two buckets (%d and %d)", c.us, got, i)
+				}
+				got = i
+			}
+		}
+		if got != c.bucket {
+			t.Errorf("us=%d landed in bucket %d, want %d", c.us, got, c.bucket)
+		}
+	}
+}
+
+// A single observation of exactly 2^i µs must report quantiles of exactly
+// 2^i, not 2^(i+1), and the snapshot's bucket label must name that bound.
+func TestHistogramQuantileTightAtPowerOfTwo(t *testing.T) {
+	var h Histogram
+	h.Observe(4 * time.Microsecond)
+	s := h.Snapshot()
+	if s.P50US != 4 || s.P99US != 4 {
+		t.Errorf("quantiles of a single 4µs sample: p50=%d p99=%d, want 4 and 4", s.P50US, s.P99US)
+	}
+	if s.MaxUS != 4 {
+		t.Errorf("max bucket bound = %d, want 4", s.MaxUS)
+	}
+	if _, ok := s.Bucket["us<=4"]; !ok {
+		t.Errorf("bucket labels = %v, want a us<=4 entry", s.Bucket)
+	}
+}

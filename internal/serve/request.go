@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/kernel"
 	"repro/internal/points"
 )
 
@@ -62,9 +63,10 @@ type Response struct {
 
 // Report describes how the request was served.
 type Report struct {
-	CacheHit      bool          `json:"cache_hit"`      // plan served from the cache
-	Coalesced     bool          `json:"coalesced"`      // piggybacked on an identical in-flight request
-	RuntimeReused bool          `json:"runtime_reused"` // evaluation ran on a pooled runtime generation
+	CacheHit      bool          `json:"cache_hit"`           // plan served from the cache
+	StoreHit      bool          `json:"store_hit,omitempty"` // plan revived from the persistent store
+	Coalesced     bool          `json:"coalesced"`           // piggybacked on an identical in-flight request
+	RuntimeReused bool          `json:"runtime_reused"`      // evaluation ran on a pooled runtime generation
 	QueueWait     time.Duration `json:"queue_wait_ns"`
 	PlanBuild     time.Duration `json:"plan_build_ns"` // zero on a cache hit
 	Evaluate      time.Duration `json:"evaluate_ns"`
@@ -244,6 +246,15 @@ func (r *Request) ensembles() (src, tgt []geom.Point) {
 		d = points.Cube
 	}
 	return points.Generate(d, r.N, r.Seed), points.Generate(d, r.N, r.Seed+1)
+}
+
+// newKernel constructs the kernel the (normalized) request asks for.
+func (r *Request) newKernel() kernel.Kernel {
+	order := kernel.OrderForDigits(r.Digits)
+	if r.Kernel == "yukawa" {
+		return kernel.NewYukawa(order, r.Lambda)
+	}
+	return kernel.NewLaplace(order)
 }
 
 // charges materializes the request's charge vector.

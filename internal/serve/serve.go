@@ -93,7 +93,8 @@ type Server struct {
 	metrics Metrics
 	sem     chan struct{}
 	start   time.Time
-	pool    *Pool // optional worker-rank pool; set before serving
+	pool    *Pool  // optional worker-rank pool; set before serving
+	store   *Store // optional persistent plan store; set before serving
 
 	callMu sync.Mutex
 	calls  map[string]*call // guarded by callMu
@@ -302,10 +303,16 @@ func (s *Server) evaluate(reqCtx context.Context, req *Request, queueWait time.D
 	}
 	if hit {
 		s.metrics.CacheHits.Add(1)
+		if entry.fromStore {
+			s.metrics.StoreHits.Add(1)
+		}
 	} else {
 		s.metrics.CacheMisses.Add(1)
 	}
 	if err := entry.ensureBuilt(req); err != nil {
+		// A failed build latches its error in the entry forever; drop it so
+		// a transient failure does not poison the key until LRU eviction.
+		s.cache.drop(req.planKey(), entry)
 		return nil, http.StatusInternalServerError, &errorBody{Error: "plan build failed: " + err.Error()}
 	}
 	var planBuild time.Duration
@@ -326,17 +333,24 @@ func (s *Server) evaluate(reqCtx context.Context, req *Request, queueWait time.D
 	degraded := false
 	if s.pool != nil && req.distEligible(s.cfg.DistThreshold) {
 		s.metrics.DistRequests.Add(1)
+		// Measure from just before the pool runs, as the in-process path
+		// measures from after ensureBuilt: subtracting queueWait from the
+		// request total would fold cold plan-build (and entry-lock wait)
+		// time into the Evaluate histogram.
+		evalStart := time.Now()
 		pots, rep, derr := s.pool.Evaluate(reqCtx, req, entry, req.chargeVector())
 		if derr == nil {
 			s.metrics.DistOK.Add(1)
-			evalDur := time.Since(t0) - queueWait
+			evalDur := time.Since(evalStart)
 			s.metrics.Evaluate.Observe(evalDur)
 			s.metrics.observeTransport(rep.Runtime.Transport)
+			s.persistPlan(req, entry)
 			g := entry.plan.Graph
 			return &Response{
 				Potentials: pots,
 				Report: Report{
 					CacheHit:      hit,
+					StoreHit:      entry.fromStore,
 					RuntimeReused: rep.RuntimeReused,
 					QueueWait:     queueWait,
 					PlanBuild:     planBuild,
@@ -398,12 +412,14 @@ func (s *Server) evaluate(reqCtx context.Context, req *Request, queueWait time.D
 	if rep.RuntimeReused {
 		s.metrics.RuntimeReuses.Add(1)
 	}
+	s.persistPlan(req, entry)
 
 	g := entry.plan.Graph
 	return &Response{
 		Potentials: potentials,
 		Report: Report{
 			CacheHit:      hit,
+			StoreHit:      entry.fromStore,
 			RuntimeReused: rep.RuntimeReused,
 			QueueWait:     queueWait,
 			PlanBuild:     planBuild,

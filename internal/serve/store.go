@@ -1,0 +1,509 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/tree"
+)
+
+// The persistent plan store: warm plan state spilled to checksummed on-disk
+// records so a restarted dashmm-serve recovers its cache without
+// recomputation. A record holds everything expensive about a built, warmed
+// plan that is not re-derivable for free:
+//
+//   - the request spec (distribution, n, seed, kernel, accuracy) — the
+//     cheap part: points regenerate deterministically from the seed;
+//   - the tree skeletons (Morton-order permutation + box structure) for
+//     both ensembles — recovery skips the recursive octant partitioning;
+//   - the kernel's cached dense translation operators (M->M, M->L, L->L)
+//     — the matrices a first evaluation pays MLSize() spectral
+//     projections each to build.
+//
+// Interaction lists, the DAG and the batch descriptors are recomputed from
+// the revived trees (deterministic and cheap relative to what is skipped).
+// Inline-ensemble plans are not spilled: their geometry is not re-derivable
+// from a spec and would bloat records for a workload that is by definition
+// not seed-replayable.
+//
+// Framing follows the amt parcel codec discipline (internal/amt/codec.go):
+// a fixed header with magic, version, payload length and a CRC32 over the
+// payload, then the payload. The decoder errors — never panics — on a
+// truncated, corrupted, oversized or version-skewed record; Load skips such
+// records (counted, surfaced as store_corrupt in /metrics) rather than
+// refusing to start.
+//
+// Record header (little endian):
+//
+//	off  size  field
+//	0    4     magic "DMMP"
+//	4    1     store version
+//	5    3     reserved (zero)
+//	8    8     payload length
+//	16   4     CRC32 (IEEE) over the payload
+//	20   ...   payload
+
+const (
+	storeMagic   = 0x444d4d50 // "DMMP"
+	storeVersion = 1
+	// storeHeaderSize is the fixed record header length in bytes.
+	storeHeaderSize = 20
+	// maxStoreRecord bounds a record so a corrupted length field cannot
+	// make recovery allocate absurd buffers.
+	maxStoreRecord = 1 << 30 // 1 GiB
+)
+
+// Store decode errors.
+var (
+	errStoreMagic    = errors.New("serve: bad store record magic")
+	errStoreVersion  = errors.New("serve: store record version mismatch")
+	errStoreChecksum = errors.New("serve: store record checksum mismatch")
+	errStoreTooBig   = errors.New("serve: store record exceeds size limit")
+	errStoreShort    = errors.New("serve: truncated store record")
+)
+
+// Store is a directory of plan records, one file per plan key.
+type Store struct {
+	dir string
+}
+
+// OpenStore opens (creating if needed) a plan store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: opening plan store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// PlanRecord is the spilled state of one warm plan.
+type PlanRecord struct {
+	Key    string
+	Spec   Request // plan-determining spec fields only
+	Source tree.Skeleton
+	Target tree.Skeleton
+	Ops    []kernel.OperatorTable
+}
+
+// recordPath names the record file for a plan key: a stable content hash of
+// the key, so keys with path-hostile characters spill safely.
+func (st *Store) recordPath(key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return filepath.Join(st.dir, fmt.Sprintf("%016x.plan", h.Sum64()))
+}
+
+// Put writes one record atomically (temp file + rename) and returns the
+// record size in bytes.
+func (st *Store) Put(rec *PlanRecord) (int64, error) {
+	payload := appendRecord(nil, rec)
+	buf := make([]byte, storeHeaderSize, storeHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], storeMagic)
+	buf[4] = storeVersion
+	binary.LittleEndian.PutUint64(buf[8:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(buf[16:], crc32.ChecksumIEEE(payload))
+	buf = append(buf, payload...)
+
+	path := st.recordPath(rec.Key)
+	tmp, err := os.CreateTemp(st.dir, ".plan-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, err
+	}
+	return int64(len(buf)), nil
+}
+
+// Load reads every record in the store. Corrupt, truncated or
+// version-skewed records are skipped and counted, never fatal; only a
+// directory-level failure returns an error.
+func (st *Store) Load() (recs []*PlanRecord, corrupt int, err error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: reading plan store: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".plan") {
+			continue
+		}
+		rec, rerr := readRecordFile(filepath.Join(st.dir, e.Name()))
+		if rerr != nil {
+			corrupt++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs, corrupt, nil
+}
+
+func readRecordFile(path string) (*PlanRecord, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < storeHeaderSize {
+		return nil, errStoreShort
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != storeMagic {
+		return nil, errStoreMagic
+	}
+	if buf[4] != storeVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", errStoreVersion, buf[4], storeVersion)
+	}
+	plen := binary.LittleEndian.Uint64(buf[8:])
+	if plen > maxStoreRecord {
+		return nil, fmt.Errorf("%w: %d bytes", errStoreTooBig, plen)
+	}
+	if uint64(len(buf)-storeHeaderSize) != plen {
+		return nil, errStoreShort
+	}
+	payload := buf[storeHeaderSize:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(buf[16:]) {
+		return nil, errStoreChecksum
+	}
+	return decodeRecord(payload)
+}
+
+// --- payload codec -------------------------------------------------------
+
+// appendRecord encodes the record payload: the spec as JSON (small, schema-
+// tolerant), then the two tree skeletons and the operator tables in packed
+// little-endian binary (bulk data).
+func appendRecord(dst []byte, rec *PlanRecord) []byte {
+	dst = appendBytes(dst, []byte(rec.Key))
+	spec, _ := json.Marshal(rec.Spec)
+	dst = appendBytes(dst, spec)
+	dst = appendSkeleton(dst, rec.Source)
+	dst = appendSkeleton(dst, rec.Target)
+	dst = appendU32(dst, uint32(len(rec.Ops)))
+	for _, op := range rec.Ops {
+		dst = append(dst, op.Kind)
+		dst = appendU64(dst, op.SideBits)
+		dst = append(dst, byte(op.DX), byte(op.DY), byte(op.DZ))
+		dst = appendU32(dst, uint32(len(op.Mx)))
+		for _, v := range op.Mx {
+			dst = appendU64(dst, math.Float64bits(real(v)))
+			dst = appendU64(dst, math.Float64bits(imag(v)))
+		}
+	}
+	return dst
+}
+
+func appendSkeleton(dst []byte, sk tree.Skeleton) []byte {
+	dst = appendU64(dst, math.Float64bits(sk.Domain.Low.X))
+	dst = appendU64(dst, math.Float64bits(sk.Domain.Low.Y))
+	dst = appendU64(dst, math.Float64bits(sk.Domain.Low.Z))
+	dst = appendU64(dst, math.Float64bits(sk.Domain.Side))
+	dst = appendU32(dst, uint32(len(sk.Perm)))
+	for _, p := range sk.Perm {
+		dst = appendU32(dst, uint32(p))
+	}
+	dst = appendU32(dst, uint32(len(sk.Boxes)))
+	for _, b := range sk.Boxes {
+		dst = append(dst, byte(b.Index.Level))
+		dst = appendU32(dst, uint32(b.Index.X))
+		dst = appendU32(dst, uint32(b.Index.Y))
+		dst = appendU32(dst, uint32(b.Index.Z))
+		dst = appendU32(dst, uint32(b.Lo))
+		dst = appendU32(dst, uint32(b.Hi))
+	}
+	return dst
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendBytes(dst, v []byte) []byte {
+	dst = appendU32(dst, uint32(len(v)))
+	return append(dst, v...)
+}
+
+// recReader is a bounds-checked cursor over a record payload. Every read
+// checks remaining length; the first failure latches err and subsequent
+// reads return zero values, so decode paths stay straight-line.
+type recReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *recReader) fail() {
+	if r.err == nil {
+		r.err = errStoreShort
+	}
+}
+
+func (r *recReader) u8() byte {
+	if r.err != nil || r.pos+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *recReader) u32() uint32 {
+	if r.err != nil || r.pos+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *recReader) u64() uint64 {
+	if r.err != nil || r.pos+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *recReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *recReader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.pos+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	v := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return v
+}
+
+// count reads a u32 element count and sanity-bounds it against the bytes
+// that remain (each element needs at least elemSize bytes), so a corrupted
+// count cannot drive a huge allocation.
+func (r *recReader) count(elemSize int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n*elemSize > len(r.buf)-r.pos {
+		r.fail()
+		return 0
+	}
+	return n
+}
+
+func decodeRecord(payload []byte) (*PlanRecord, error) {
+	r := &recReader{buf: payload}
+	rec := &PlanRecord{Key: string(r.bytes())}
+	specJSON := r.bytes()
+	if r.err == nil {
+		if err := json.Unmarshal(specJSON, &rec.Spec); err != nil {
+			return nil, fmt.Errorf("serve: store record spec: %w", err)
+		}
+	}
+	rec.Source = readSkeleton(r)
+	rec.Target = readSkeleton(r)
+	nOps := r.count(1 + 8 + 3 + 4)
+	for i := 0; i < nOps && r.err == nil; i++ {
+		op := kernel.OperatorTable{
+			Kind:     r.u8(),
+			SideBits: r.u64(),
+			DX:       int8(r.u8()),
+			DY:       int8(r.u8()),
+			DZ:       int8(r.u8()),
+		}
+		nMx := r.count(16)
+		op.Mx = make([]complex128, 0, nMx)
+		for j := 0; j < nMx && r.err == nil; j++ {
+			re, im := r.f64(), r.f64()
+			op.Mx = append(op.Mx, complex(re, im))
+		}
+		rec.Ops = append(rec.Ops, op)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(r.buf) {
+		return nil, fmt.Errorf("serve: %d trailing bytes in store record", len(r.buf)-r.pos)
+	}
+	if rec.Key == "" {
+		return nil, errors.New("serve: store record has an empty plan key")
+	}
+	return rec, nil
+}
+
+func readSkeleton(r *recReader) tree.Skeleton {
+	var sk tree.Skeleton
+	sk.Domain.Low.X = r.f64()
+	sk.Domain.Low.Y = r.f64()
+	sk.Domain.Low.Z = r.f64()
+	sk.Domain.Side = r.f64()
+	nPerm := r.count(4)
+	sk.Perm = make([]int, 0, nPerm)
+	for i := 0; i < nPerm && r.err == nil; i++ {
+		sk.Perm = append(sk.Perm, int(r.u32()))
+	}
+	nBoxes := r.count(1 + 4*5)
+	sk.Boxes = make([]tree.SkeletonBox, 0, nBoxes)
+	for i := 0; i < nBoxes && r.err == nil; i++ {
+		var b tree.SkeletonBox
+		b.Index.Level = int8(r.u8())
+		b.Index.X = int32(r.u32())
+		b.Index.Y = int32(r.u32())
+		b.Index.Z = int32(r.u32())
+		b.Lo = int(r.u32())
+		b.Hi = int(r.u32())
+		sk.Boxes = append(sk.Boxes, b)
+	}
+	return sk
+}
+
+// --- record <-> plan -----------------------------------------------------
+
+// recordFor snapshots a built, warmed plan into its spilled form. Only the
+// plan-determining spec fields are kept: charges, execution shape, deadline
+// and trace flags are per-request, not per-plan.
+func recordFor(req *Request, plan *core.Plan) *PlanRecord {
+	rec := &PlanRecord{
+		Key: req.planKey(),
+		Spec: Request{
+			Distribution: req.Distribution,
+			N:            req.N,
+			Seed:         req.Seed,
+			Kernel:       req.Kernel,
+			Lambda:       req.Lambda,
+			Digits:       req.Digits,
+			Threshold:    req.Threshold,
+		},
+		Source: plan.Source.Skeleton(),
+		Target: plan.Target.Skeleton(),
+	}
+	if oc, ok := plan.Kernel.(kernel.OperatorCache); ok {
+		rec.Ops = oc.ExportOperators()
+	}
+	return rec
+}
+
+// rebuild revives the record into a built plan: points regenerate from the
+// spec seed, the trees rise from their skeletons without re-partitioning,
+// the spilled dense operators seed the kernel cache, and only the
+// (deterministic, comparatively cheap) lists + DAG assembly reruns.
+func (rec *PlanRecord) rebuild() (*core.Plan, error) {
+	spec := rec.Spec
+	if len(spec.Sources) > 0 || len(spec.Targets) > 0 {
+		return nil, errors.New("serve: store record carries inline ensembles")
+	}
+	if err := spec.normalize(Config{}); err != nil {
+		return nil, fmt.Errorf("serve: store record spec: %w", err)
+	}
+	if got := spec.planKey(); got != rec.Key {
+		return nil, fmt.Errorf("serve: store record key %q does not match its spec (%q)", rec.Key, got)
+	}
+	srcPts, tgtPts := spec.ensembles()
+	src, err := tree.FromSkeleton(srcPts, rec.Source)
+	if err != nil {
+		return nil, fmt.Errorf("serve: store record source tree: %w", err)
+	}
+	tgt, err := tree.FromSkeleton(tgtPts, rec.Target)
+	if err != nil {
+		return nil, fmt.Errorf("serve: store record target tree: %w", err)
+	}
+	k := spec.newKernel()
+	if oc, ok := k.(kernel.OperatorCache); ok {
+		oc.ImportOperators(rec.Ops)
+	}
+	plan, err := core.NewPlanFromTrees(src, tgt, k, core.Options{Threshold: spec.Threshold})
+	if err != nil {
+		return nil, fmt.Errorf("serve: store record plan: %w", err)
+	}
+	return plan, nil
+}
+
+// --- server integration --------------------------------------------------
+
+// UseStore attaches an opened plan store: cold builds spill their warmed
+// state after the first successful evaluation, and RecoverFromStore revives
+// spilled plans into the cache. Attach before serving.
+func (s *Server) UseStore(st *Store) { s.store = st }
+
+// Store returns the attached plan store (nil without one).
+func (s *Server) Store() *Store { return s.store }
+
+// RecoverFromStore loads every readable record from the attached store and
+// installs the revived plans in the cache, so the first request on a
+// previously-warm key is a cache hit with zero plan rebuilds. Unreadable
+// records — corrupt, truncated, version-skewed, or no longer revivable —
+// are skipped and counted (store_corrupt in /metrics), never fatal.
+func (s *Server) RecoverFromStore() (recovered, skipped int, err error) {
+	if s.store == nil {
+		return 0, 0, errors.New("serve: no store attached")
+	}
+	recs, corrupt, err := s.store.Load()
+	if err != nil {
+		return 0, 0, err
+	}
+	skipped = corrupt
+	for _, rec := range recs {
+		plan, rerr := rec.rebuild()
+		if rerr != nil {
+			skipped++
+			continue
+		}
+		e := &planEntry{key: rec.Key, evals: make(map[string]*evalCtx), fromStore: true, stored: true}
+		e.build.Do(func() { e.plan = plan })
+		s.cache.put(rec.Key, e)
+		recovered++
+	}
+	s.metrics.StoreCorrupt.Add(int64(skipped))
+	s.metrics.StoreRecovered.Add(int64(recovered))
+	return recovered, skipped, nil
+}
+
+// persistPlan spills a freshly built plan's warm state after its first
+// successful evaluation (by then the dense operator tables the evaluation
+// touched all exist). One attempt per entry; failures are counted, not
+// retried. Caller must hold entry.mu.
+//
+//dashmm:locked planEntry.mu — documented precondition: evaluate calls persistPlan inside the entry's critical section.
+func (s *Server) persistPlan(req *Request, entry *planEntry) {
+	if s.store == nil || entry.stored || len(req.Sources) > 0 {
+		return
+	}
+	entry.stored = true
+	n, err := s.store.Put(recordFor(req, entry.plan))
+	if err != nil {
+		s.metrics.StoreFailed.Add(1)
+		return
+	}
+	s.metrics.StoreWrites.Add(1)
+	s.metrics.StoreBytes.Add(n)
+}

@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/points"
+)
+
+// Round trip at the codec level: a record survives encode -> decode exactly.
+func TestStoreRecordCodecRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deep enough that the multipole path runs: the operator tables are
+	// built lazily by the first evaluation's M->M / M->L / L->L calls, and a
+	// shallow all-near-field problem would never touch them.
+	req := Request{N: 2000}
+	if err := req.normalize(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	src, tgt := req.ensembles()
+	plan, err := core.NewPlan(src, tgt, req.newKernel(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate once so the kernel's lazily built operator tables exist.
+	if _, _, err := plan.Evaluate(req.chargeVector(), core.ExecOptions{Localities: 1, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rec := recordFor(&req, plan)
+	if len(rec.Ops) == 0 {
+		t.Fatal("warmed plan exported no operator tables")
+	}
+
+	if _, err := st.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readRecordFile(st.recordPath(rec.Key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != rec.Key {
+		t.Errorf("key %q, want %q", got.Key, rec.Key)
+	}
+	if got.Spec.planKey() != rec.Spec.planKey() {
+		t.Errorf("spec %+v, want %+v", got.Spec, rec.Spec)
+	}
+	if len(got.Source.Perm) != len(rec.Source.Perm) || len(got.Source.Boxes) != len(rec.Source.Boxes) {
+		t.Errorf("source skeleton %d perm / %d boxes, want %d / %d",
+			len(got.Source.Perm), len(got.Source.Boxes), len(rec.Source.Perm), len(rec.Source.Boxes))
+	}
+	if len(got.Ops) != len(rec.Ops) {
+		t.Fatalf("%d operator tables, want %d", len(got.Ops), len(rec.Ops))
+	}
+	for i, op := range got.Ops {
+		want := rec.Ops[i]
+		if op.Kind != want.Kind || op.SideBits != want.SideBits ||
+			op.DX != want.DX || op.DY != want.DY || op.DZ != want.DZ {
+			t.Fatalf("op %d header %+v, want %+v", i, op, want)
+		}
+		for j := range op.Mx {
+			if op.Mx[j] != want.Mx[j] {
+				t.Fatalf("op %d element %d: %v, want %v", i, j, op.Mx[j], want.Mx[j])
+			}
+		}
+	}
+}
+
+// The acceptance path: a server with a store spills its warm plan; a second
+// server ("restarted") over the same directory recovers it and serves the
+// previously-warm key as a cache hit with zero plan rebuilds, matching a
+// direct evaluation of the same problem to 1e-12.
+func TestStoreRestartServesWarmKeyWithoutRebuild(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{N: 1500, Workers: 1, Localities: 1}
+
+	// First life: cold build + evaluation spills the record.
+	s1 := New(Config{})
+	st1, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.UseStore(st1)
+	ts1 := httptest.NewServer(s1.Handler())
+	code, first, _ := post(t, ts1.URL, req)
+	ts1.Close()
+	if code != http.StatusOK {
+		t.Fatalf("first-life request: HTTP %d", code)
+	}
+	if first.Report.CacheHit || first.Report.StoreHit {
+		t.Fatalf("first-life request should be cold: %+v", first.Report)
+	}
+	m1 := s1.metrics.snapshot(s1.cache.len(), nil)
+	if m1.StoreWrites != 1 || m1.StoreBytes <= 0 {
+		t.Fatalf("store_writes=%d store_bytes=%d after cold evaluation, want 1 write",
+			m1.StoreWrites, m1.StoreBytes)
+	}
+
+	// Second life: a fresh server over the same directory.
+	s2 := New(Config{})
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.UseStore(st2)
+	recovered, skipped, err := s2.RecoverFromStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 1 || skipped != 0 {
+		t.Fatalf("recovered %d, skipped %d, want 1 and 0", recovered, skipped)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	code, warm, _ := post(t, ts2.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("post-restart request: HTTP %d", code)
+	}
+	if !warm.Report.CacheHit || !warm.Report.StoreHit {
+		t.Fatalf("post-restart request not served from the store: %+v", warm.Report)
+	}
+	if warm.Report.PlanBuild != 0 {
+		t.Errorf("post-restart request rebuilt the plan (%v)", warm.Report.PlanBuild)
+	}
+	m2 := s2.metrics.snapshot(s2.cache.len(), nil)
+	if m2.StoreRecovered != 1 || m2.StoreHits != 1 {
+		t.Errorf("store_recovered=%d store_hits=%d, want 1 and 1", m2.StoreRecovered, m2.StoreHits)
+	}
+	if m2.CacheMisses != 0 || m2.PlanBuild.Count != 0 {
+		t.Errorf("recovered key cost a rebuild: misses=%d builds=%d", m2.CacheMisses, m2.PlanBuild.Count)
+	}
+	if m2.StoreWrites != 0 {
+		t.Errorf("recovered entry was re-spilled (%d writes)", m2.StoreWrites)
+	}
+
+	// Both lives match a direct core evaluation of the identical problem.
+	sp := points.Generate(points.Cube, 1500, 1)
+	tp := points.Generate(points.Cube, 1500, 2)
+	plan, err := core.NewPlan(sp, tp, kernel.NewLaplace(kernel.OrderForDigits(3)), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := plan.Evaluate(points.Charges(1500, 3), core.ExecOptions{Localities: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Potentials) != len(want) {
+		t.Fatalf("%d potentials, want %d", len(warm.Potentials), len(want))
+	}
+	for i := range want {
+		scale := math.Max(1, math.Abs(want[i]))
+		if d := math.Abs(warm.Potentials[i]-want[i]) / scale; d > 1e-12 {
+			t.Fatalf("recovered potential %d off by %.2e", i, d)
+		}
+	}
+}
+
+// Corrupt, truncated and alien records are skipped and counted during
+// recovery — never a crash, and they never block the readable records.
+func TestStoreCorruptRecordsSkippedNeverFatal(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One good record.
+	req := Request{N: 400}
+	if err := req.normalize(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	src, tgt := req.ensembles()
+	plan, err := core.NewPlan(src, tgt, req.newKernel(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(recordFor(&req, plan)); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(st.recordPath(req.planKey()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Damaged neighbours, one per failure mode.
+	write := func(name string, b []byte) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	truncated := append([]byte(nil), good[:len(good)/2]...)
+	write("truncated.plan", truncated)
+	flipped := append([]byte(nil), good...)
+	flipped[storeHeaderSize+10] ^= 0xff
+	write("bitflip.plan", flipped)
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] = 'X'
+	write("magic.plan", badMagic)
+	badVersion := append([]byte(nil), good...)
+	badVersion[4] = storeVersion + 1
+	write("version.plan", badVersion)
+	write("short.plan", []byte("junk"))
+
+	s := New(Config{})
+	s.UseStore(st)
+	recovered, skipped, err := s.RecoverFromStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 1 {
+		t.Errorf("recovered %d records, want 1", recovered)
+	}
+	if skipped != 5 {
+		t.Errorf("skipped %d records, want 5", skipped)
+	}
+	if got := s.metrics.StoreCorrupt.Load(); got != 5 {
+		t.Errorf("store_corrupt=%d, want 5", got)
+	}
+	if s.cache.len() != 1 {
+		t.Errorf("cache holds %d plans after recovery, want 1", s.cache.len())
+	}
+}
+
+// A record whose spec no longer reproduces its key (e.g. hand-edited or from
+// a different keying scheme) is skipped, not served under the wrong key.
+func TestStoreKeyMismatchSkipped(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{N: 400}
+	if err := req.normalize(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	src, tgt := req.ensembles()
+	plan, err := core.NewPlan(src, tgt, req.newKernel(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := recordFor(&req, plan)
+	rec.Key = "cube/n=999/seed=1/laplace/d=3/thr=0" // lies about the spec
+	if _, err := st.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{})
+	s.UseStore(st)
+	recovered, skipped, err := s.RecoverFromStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 0 || skipped != 1 {
+		t.Errorf("recovered %d, skipped %d, want 0 and 1", recovered, skipped)
+	}
+}
+
+// Inline-ensemble plans never spill: their geometry is not seed-replayable.
+func TestStoreSkipsInlinePlans(t *testing.T) {
+	s := New(Config{})
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.UseStore(st)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	pts := make([][3]float64, 60)
+	g := points.Generate(points.Cube, 60, 7)
+	for i, p := range g {
+		pts[i] = [3]float64{p.X, p.Y, p.Z}
+	}
+	code, _, _ := post(t, ts.URL, Request{Sources: pts, Targets: pts})
+	if code != http.StatusOK {
+		t.Fatalf("inline request: HTTP %d", code)
+	}
+	if got := s.metrics.StoreWrites.Load(); got != 0 {
+		t.Errorf("inline plan spilled (%d writes)", got)
+	}
+	recs, _, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("store holds %d records after inline request, want 0", len(recs))
+	}
+}

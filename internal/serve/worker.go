@@ -199,6 +199,7 @@ func runWorkerJob(cl *amt.Cluster, cache *planCache, threads int, gen uint32, pa
 	}
 	entry, _, _ := cache.get(req.planKey())
 	if err := entry.ensureBuilt(req); err != nil {
+		cache.drop(req.planKey(), entry)
 		return fmt.Errorf("plan build: %w", err)
 	}
 	// The worker's own timeout backstops a vanished run; it sits a grace

@@ -1,0 +1,107 @@
+package tree
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/points"
+)
+
+// A tree survives Skeleton -> FromSkeleton exactly: same boxes in the same
+// BFS order, same geometry, same ranges, same reordered points, and the
+// interaction lists built on the reconstruction match the original's.
+func TestSkeletonRoundTripReconstructsTree(t *testing.T) {
+	for _, dist := range []points.Distribution{points.Cube, points.Sphere, points.Plummer} {
+		pts := points.Generate(dist, 3000, 5)
+		dom := geom.BoundingCube(pts)
+		orig := Build(pts, dom, 40)
+
+		got, err := FromSkeleton(pts, orig.Skeleton())
+		if err != nil {
+			t.Fatalf("%v: FromSkeleton: %v", dist, err)
+		}
+		if got.Root == nil || got.Root != got.Boxes[0] {
+			t.Fatalf("%v: root not wired to the first BFS box", dist)
+		}
+		if got.Domain != orig.Domain {
+			t.Fatalf("%v: domain %+v, want %+v", dist, got.Domain, orig.Domain)
+		}
+		if got.MaxLevel != orig.MaxLevel {
+			t.Errorf("%v: max level %d, want %d", dist, got.MaxLevel, orig.MaxLevel)
+		}
+		if len(got.Boxes) != len(orig.Boxes) {
+			t.Fatalf("%v: %d boxes, want %d", dist, len(got.Boxes), len(orig.Boxes))
+		}
+		for i, b := range got.Boxes {
+			w := orig.Boxes[i]
+			if b.Index != w.Index || b.Lo != w.Lo || b.Hi != w.Hi || b.Seq != w.Seq {
+				t.Fatalf("%v: box %d is %v [%d,%d) seq %d, want %v [%d,%d) seq %d",
+					dist, i, b.Index, b.Lo, b.Hi, b.Seq, w.Index, w.Lo, w.Hi, w.Seq)
+			}
+			if b.Center != w.Center || b.Side != w.Side {
+				t.Fatalf("%v: box %d geometry %v/%g, want %v/%g", dist, i, b.Center, b.Side, w.Center, w.Side)
+			}
+			if b.NChildren != w.NChildren {
+				t.Fatalf("%v: box %d has %d children, want %d", dist, i, b.NChildren, w.NChildren)
+			}
+			if (b.Parent == nil) != (w.Parent == nil) {
+				t.Fatalf("%v: box %d parent mismatch", dist, i)
+			}
+			if b.Parent != nil && b.Parent.Index != w.Parent.Index {
+				t.Fatalf("%v: box %d parent %v, want %v", dist, i, b.Parent.Index, w.Parent.Index)
+			}
+		}
+		if len(got.Leaves) != len(orig.Leaves) {
+			t.Fatalf("%v: %d leaves, want %d", dist, len(got.Leaves), len(orig.Leaves))
+		}
+		for i := range got.Pts {
+			if got.Pts[i] != orig.Pts[i] {
+				t.Fatalf("%v: reordered point %d differs", dist, i)
+			}
+		}
+		// Lookup works on the reconstruction.
+		for _, b := range orig.Boxes {
+			if got.Lookup(b.Index) == nil {
+				t.Fatalf("%v: reconstruction cannot look up %v", dist, b.Index)
+			}
+		}
+	}
+}
+
+// Structurally corrupt skeletons surface as errors, never panics or silently
+// wrong trees.
+func TestFromSkeletonRejectsCorruptShapes(t *testing.T) {
+	pts := points.Generate(points.Cube, 500, 9)
+	dom := geom.BoundingCube(pts)
+	good := Build(pts, dom, 30).Skeleton()
+
+	cases := []struct {
+		name   string
+		mutate func(sk *Skeleton)
+	}{
+		{"short permutation", func(sk *Skeleton) { sk.Perm = sk.Perm[:len(sk.Perm)-1] }},
+		{"repeated permutation entry", func(sk *Skeleton) { sk.Perm[0] = sk.Perm[1] }},
+		{"out-of-range permutation entry", func(sk *Skeleton) { sk.Perm[0] = len(sk.Perm) }},
+		{"no boxes", func(sk *Skeleton) { sk.Boxes = nil }},
+		{"root not root", func(sk *Skeleton) { sk.Boxes[0].Index.Level = 1 }},
+		{"root range short", func(sk *Skeleton) { sk.Boxes[0].Hi-- }},
+		{"inverted range", func(sk *Skeleton) { b := &sk.Boxes[1]; b.Lo, b.Hi = b.Hi, b.Lo }},
+		{"range outside parent", func(sk *Skeleton) { sk.Boxes[len(sk.Boxes)-1].Hi = len(sk.Perm) + 1 }},
+		{"duplicate box", func(sk *Skeleton) { sk.Boxes[2] = sk.Boxes[1] }},
+		{"orphan box", func(sk *Skeleton) {
+			sk.Boxes[1].Index.Level = 5 // no level-4 parent exists
+		}},
+		{"invalid index", func(sk *Skeleton) { sk.Boxes[1].Index.X = -1 }},
+	}
+	for _, tc := range cases {
+		sk := Skeleton{
+			Domain: good.Domain,
+			Perm:   append([]int(nil), good.Perm...),
+			Boxes:  append([]SkeletonBox(nil), good.Boxes...),
+		}
+		tc.mutate(&sk)
+		if _, err := FromSkeleton(pts, sk); err == nil {
+			t.Errorf("%s: corrupt skeleton accepted", tc.name)
+		}
+	}
+}

@@ -10,9 +10,57 @@
 #
 # Usage: scripts/bench.sh [extra go test args...]
 #        scripts/bench.sh serve   # warm-vs-cold serving benchmark -> BENCH_serve.json
+#        scripts/bench.sh load    # production load harness -> BENCH_load.json
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# Production load harness: start a real dashmm-serve (with a persistent plan
+# store in a scratch directory), drive it with dashmm-load's scripted
+# cold/warm/mixed phases, and verify the emitted BENCH_load.json — including
+# that warm traffic actually hit the plan cache. Every failure is loud: a
+# server that will not start, a harness error, or malformed/hollow JSON all
+# exit non-zero without writing a final BENCH_load.json.
+# Override the phase script with LOAD_PHASES, the listen address with
+# LOAD_ADDR; extra args go to dashmm-load.
+if [ "${1:-}" = "load" ]; then
+    shift
+    addr="${LOAD_ADDR:-127.0.0.1:18075}"
+    phases="${LOAD_PHASES:-cold:3s:8,warm:6s:25,mixed:4s:20}"
+    bin=$(mktemp -d)
+    store=$(mktemp -d)
+    srv=""
+    cleanup() {
+        [ -n "$srv" ] && kill "$srv" 2>/dev/null || true
+        [ -n "$srv" ] && wait "$srv" 2>/dev/null || true
+        rm -rf "$bin" "$store"
+    }
+    trap cleanup EXIT
+    go build -o "$bin" ./cmd/dashmm-serve ./cmd/dashmm-load
+
+    "$bin/dashmm-serve" -addr "$addr" -store "$store" \
+        -max-queue 256 -max-concurrent 4 -cache-size 64 &
+    srv=$!
+
+    # -wait polls /healthz, so server and harness start back to back; the
+    # output goes to a temp file first so a failed run never leaves a
+    # half-written BENCH_load.json behind.
+    out=$(mktemp)
+    if ! "$bin/dashmm-load" -url "http://$addr" -wait 15s \
+        -n 2000 -tenants 4 -phases "$phases" -out "$out" "$@"; then
+        rm -f "$out"
+        echo "bench.sh: dashmm-load failed; not writing BENCH_load.json" >&2
+        exit 1
+    fi
+    if ! "$bin/dashmm-load" -verify "$out" -require-warm-hits; then
+        rm -f "$out"
+        echo "bench.sh: BENCH_load.json failed verification" >&2
+        exit 1
+    fi
+    mv "$out" BENCH_load.json
+    echo "wrote BENCH_load.json"
+    exit 0
+fi
 
 # run_bench go-test-args...: run `go test` echoing its output and appending
 # it to $raw, failing the whole script when go test fails. The previous
