@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint fmt-check bench bench-smoke bench-serve bench-load load-smoke serve-smoke serve-chaos chaos chaos-short chaos-crash dist-smoke ci
+.PHONY: build test race vet lint escape-gate fuzz-smoke fmt-check bench bench-smoke bench-serve bench-load load-smoke serve-smoke serve-chaos chaos chaos-short chaos-crash dist-smoke ci
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The scheduler, executor, server, distributed driver and tracer are the
-# concurrency-touching packages; run them under the race detector (the
-# remaining packages are sequential, and the full tree under -race is slow
-# on small machines without adding coverage).
+# The scheduler, executor, server, distributed driver, load harness and
+# tracer are the concurrency-touching packages; run them under the race
+# detector (the remaining packages are sequential, and the full tree under
+# -race is slow on small machines without adding coverage).
 race:
-	$(GO) test -race -timeout 20m ./internal/amt ./internal/core ./internal/serve ./internal/dist ./internal/trace
+	$(GO) test -race -timeout 20m ./internal/amt ./internal/core ./internal/serve ./internal/dist ./internal/trace ./internal/load
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,20 @@ vet:
 # "Invariant catalog"). Exits non-zero on any finding.
 lint:
 	$(GO) run ./cmd/dashmm-lint ./...
+
+# Compiler-backed //dashmm:noalloc verification: every annotated function
+# must be free of `go build -gcflags=-m` heap escapes (ground truth for the
+# syntactic hotpath-noalloc fast path).
+escape-gate:
+	$(GO) run ./cmd/dashmm-lint -escape ./...
+
+# Native-fuzz every decode surface for 20s each: the wire frame codec, the
+# control-plane job spec, and the persistent plan-store record. The seed
+# corpora live in testdata/fuzz/ and replay under plain `go test` too.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 20s ./internal/amt
+	$(GO) test -run '^$$' -fuzz '^FuzzJobSpec$$' -fuzztime 20s ./internal/serve
+	$(GO) test -run '^$$' -fuzz '^FuzzStoreLoad$$' -fuzztime 20s ./internal/serve
 
 # Fail if any file needs gofmt; prints the offending files.
 fmt-check:
@@ -99,4 +113,4 @@ chaos-crash:
 dist-smoke: build
 	$(GO) run ./cmd/dashmm-bench -real -n 20000 -locs 4 -net unix -kill-rank 2 -kill-at 0.5
 
-ci: build vet fmt-check lint test race serve-smoke serve-chaos chaos-short chaos-crash dist-smoke bench-smoke load-smoke
+ci: build vet fmt-check lint escape-gate test fuzz-smoke race serve-smoke serve-chaos chaos-short chaos-crash dist-smoke bench-smoke load-smoke

@@ -16,6 +16,9 @@
 //	               //lint:ignore stub above each flagged line, for a human
 //	               to either justify or fix
 //	-list          print the available checkers and exit
+//	-escape        run the compiler-backed escape gate instead of the
+//	               analyzer suite: every //dashmm:noalloc function must be
+//	               free of `go build -gcflags=-m` heap escapes
 package main
 
 import (
@@ -41,6 +44,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		checks  = fs.String("checks", "", "comma-separated subset of checkers to run (default: all)")
 		fixMode = fs.String("fix", "", `"suppress" inserts //lint:ignore stubs instead of reporting`)
 		list    = fs.Bool("list", false, "list available checkers and exit")
+		escape  = fs.Bool("escape", false, "run the compiler-backed //dashmm:noalloc escape gate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,14 +74,23 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "dashmm-lint:", err)
 		return 2
 	}
-	loader := analysis.NewLoader(wd)
-	passes, err := loader.LoadPatterns(patterns...)
-	if err != nil {
-		fmt.Fprintln(stderr, "dashmm-lint:", err)
-		return 2
-	}
 
-	diags := analysis.Run(passes, analyzers)
+	var diags []analysis.Diagnostic
+	if *escape {
+		diags, err = analysis.RunEscapeGate(wd, patterns)
+		if err != nil {
+			fmt.Fprintln(stderr, "dashmm-lint:", err)
+			return 2
+		}
+	} else {
+		loader := analysis.NewLoader(wd)
+		passes, err := loader.LoadPatterns(patterns...)
+		if err != nil {
+			fmt.Fprintln(stderr, "dashmm-lint:", err)
+			return 2
+		}
+		diags = analysis.Run(passes, analyzers)
+	}
 
 	switch *fixMode {
 	case "":
@@ -102,12 +115,16 @@ func run(args []string, stdout, stderr *os.File) int {
 			Line    int    `json:"line"`
 			Column  int    `json:"column"`
 			Message string `json:"message"`
+			// Detail carries the lockorder acquisition chain or the
+			// wireproto field layout, newline-separated, for tooling.
+			Detail string `json:"detail,omitempty"`
 		}
 		out := make([]jsonDiag, 0, len(diags))
 		for _, d := range diags {
 			out = append(out, jsonDiag{
 				Check: d.Check, File: d.Pos.Filename,
 				Line: d.Pos.Line, Column: d.Pos.Column, Message: d.Message,
+				Detail: d.Detail,
 			})
 		}
 		enc := json.NewEncoder(stdout)

@@ -87,6 +87,12 @@ type ClusterConfig struct {
 	// JoinTimeout bounds the bootstrap: workers dialing rank 0 and rank 0
 	// awaiting the full roster (default 30s).
 	JoinTimeout time.Duration
+	// CtlWriteTimeout bounds each control-plane frame write. Without it, a
+	// wedged peer socket (full buffer, half-dead host) blocks
+	// controlConn.send forever while the sender holds wmu — and bcastMu
+	// above it — freezing every broadcast on rank 0, including the death
+	// verdict that would have severed the wedged peer (default 5s).
+	CtlWriteTimeout time.Duration
 	// Rejoin makes a worker re-enter an already-started cluster (a
 	// respawned rank): the handshake is a REJOIN, and the WELCOME carries
 	// the live membership (generation, epoch, peer addresses, dead ranks)
@@ -113,6 +119,9 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 	if c.JoinTimeout <= 0 {
 		c.JoinTimeout = 30 * time.Second
 	}
+	if c.CtlWriteTimeout <= 0 {
+		c.CtlWriteTimeout = 5 * time.Second
+	}
 	return c
 }
 
@@ -121,12 +130,21 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 type controlConn struct {
 	conn net.Conn
 	wmu  sync.Mutex
+	// writeTimeout bounds each Write (ClusterConfig.CtlWriteTimeout): a
+	// wedged peer must error out of the wmu critical section, not park in
+	// it with every broadcaster queued behind.
+	writeTimeout time.Duration
 }
 
 func (cc *controlConn) send(f *Frame) error {
 	buf := AppendFrame(nil, f)
 	cc.wmu.Lock()
 	defer cc.wmu.Unlock()
+	if cc.writeTimeout > 0 {
+		cc.conn.SetWriteDeadline(time.Now().Add(cc.writeTimeout))
+		defer cc.conn.SetWriteDeadline(time.Time{})
+	}
+	//lint:ignore lockorder the write IS wmu's critical section (wmu only serializes concurrent control writes) and writeTimeout bounds it
 	_, err := cc.conn.Write(buf)
 	return err
 }
@@ -445,6 +463,7 @@ func (c *Cluster) StartJob(build func(gen uint32, deadOrder []int) []byte) (uint
 	c.mu.Unlock()
 	f := &Frame{Kind: ctlJob, Src: 0, Epoch: gen, Payload: build(gen, deadOrder)}
 	for _, cc := range conns {
+		//lint:ignore lockorder bcastMu held across the fan-out IS the total-order guarantee for control frames; each send is bounded by CtlWriteTimeout
 		cc.send(f) // a failed send surfaces via that rank's own heartbeat
 	}
 	return gen, deadOrder
@@ -514,7 +533,7 @@ func (c *Cluster) join() error {
 			sleepJittered()
 			continue
 		}
-		cc := &controlConn{conn: conn}
+		cc := &controlConn{conn: conn, writeTimeout: c.cfg.CtlWriteTimeout}
 		hello := &Frame{Kind: kind, Src: c.cfg.Rank, Payload: encodeHello(c.cfg, c.ln.Addr().String())}
 		if err := cc.send(hello); err != nil {
 			conn.Close()
@@ -732,7 +751,7 @@ func (c *Cluster) serveConn(conn net.Conn) {
 func (c *Cluster) serveJoin(conn net.Conn, br *bufio.Reader, hello Frame, rejoin bool) {
 	reject := func(reason string) {
 		c.tp.handshakeFails.Add(1)
-		cc := &controlConn{conn: conn}
+		cc := &controlConn{conn: conn, writeTimeout: c.cfg.CtlWriteTimeout}
 		cc.send(&Frame{Kind: ctlReject, Src: 0, Payload: []byte(reason)})
 		conn.Close()
 	}
@@ -773,7 +792,7 @@ func (c *Cluster) serveJoin(conn net.Conn, br *bufio.Reader, hello Frame, rejoin
 			reject(fmt.Sprintf("rank %d already joined", rank))
 			return
 		}
-		cc := &controlConn{conn: conn}
+		cc := &controlConn{conn: conn, writeTimeout: c.cfg.CtlWriteTimeout}
 		c.joined[rank] = cc
 		c.peerAddrs[rank] = addr
 		c.mu.Unlock()
@@ -821,7 +840,7 @@ func (c *Cluster) serveJoin(conn net.Conn, br *bufio.Reader, hello Frame, rejoin
 	if old := c.joined[rank]; old != nil {
 		old.conn.Close() // the corpse's control conn, if still half-open
 	}
-	cc := &controlConn{conn: conn}
+	cc := &controlConn{conn: conn, writeTimeout: c.cfg.CtlWriteTimeout}
 	c.joined[rank] = cc
 	c.peerAddrs[rank] = addr
 	do := c.deadOrder[:0]
@@ -852,8 +871,10 @@ func (c *Cluster) serveJoin(conn net.Conn, br *bufio.Reader, hello Frame, rejoin
 	}
 	c.mu.Unlock()
 	for _, occ := range conns {
+		//lint:ignore lockorder bcastMu held across the fan-out IS the total-order guarantee for control frames; each send is bounded by CtlWriteTimeout
 		occ.send(gf) // a failed send surfaces via that rank's own heartbeat
 	}
+	//lint:ignore lockorder the welcome must be ordered after the revive broadcast (bcastMu holds that order); send is bounded by CtlWriteTimeout
 	welcomeErr := cc.send(&Frame{Kind: ctlWelcome, Src: 0, Payload: payload})
 	c.bcastMu.Unlock()
 	if welcomeErr != nil {
@@ -1071,6 +1092,7 @@ func (c *Cluster) DeclareDead(rank int) {
 	c.mu.Unlock()
 	f := &Frame{Kind: ctlDead, Src: 0, Payload: payload[:]}
 	for _, cc := range conns {
+		//lint:ignore lockorder bcastMu held across the fan-out IS the total-order guarantee for control frames; each send is bounded by CtlWriteTimeout
 		cc.send(f) // a failed send surfaces via that rank's own heartbeat
 	}
 	c.bcastMu.Unlock()
@@ -1117,6 +1139,7 @@ func (c *Cluster) broadcastCtl(kind uint16) {
 	c.mu.Unlock()
 	f := &Frame{Kind: kind, Src: 0}
 	for _, cc := range conns {
+		//lint:ignore lockorder bcastMu held across the fan-out IS the total-order guarantee for control frames; each send is bounded by CtlWriteTimeout
 		cc.send(f)
 	}
 }

@@ -75,6 +75,8 @@ type Frame struct {
 func (f *Frame) Ack() bool { return f.Flags&FlagAck != 0 }
 
 // AppendFrame encodes the frame onto dst and returns the extended slice.
+//
+//dashmm:wire frame encode Frame
 func AppendFrame(dst []byte, f *Frame) []byte {
 	base := len(dst)
 	dst = append(dst, make([]byte, FrameHeaderSize)...)
@@ -99,6 +101,8 @@ func AppendFrame(dst []byte, f *Frame) []byte {
 // header byte returns io.EOF; any mid-frame truncation returns an error
 // wrapping io.ErrUnexpectedEOF. The returned payload is freshly allocated
 // (the frame owns it).
+//
+//dashmm:wire frame decode Frame
 func ReadFrame(br *bufio.Reader) (Frame, error) {
 	var h [FrameHeaderSize]byte
 	if _, err := io.ReadFull(br, h[:]); err != nil {
@@ -126,10 +130,11 @@ func ReadFrame(br *bufio.Reader) (Frame, error) {
 		Seq:   binary.LittleEndian.Uint64(h[16:]),
 	}
 	if plen > 0 {
-		f.Payload = make([]byte, plen)
-		if _, err := io.ReadFull(br, f.Payload); err != nil {
+		payload, err := readPayload(br, int(plen))
+		if err != nil {
 			return Frame{}, fmt.Errorf("%w: %w", errShortPayload, io.ErrUnexpectedEOF)
 		}
+		f.Payload = payload
 	}
 	crc := crc32.NewIEEE()
 	crc.Write(h[0:28])
@@ -138,4 +143,23 @@ func ReadFrame(br *bufio.Reader) (Frame, error) {
 		return Frame{}, ErrBadChecksum
 	}
 	return f, nil
+}
+
+// readPayload reads exactly n payload bytes, growing the buffer in 1 MiB
+// chunks as data actually arrives. The header's length field is attacker
+// (or corruption) controlled: committing the full MaxFramePayload up front
+// would let a 32-byte header pin 256 MiB per connection, so allocation must
+// track received bytes, not the advertised length.
+func readPayload(br *bufio.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min(n, chunk))
+	for len(buf) < n {
+		m := min(n-len(buf), chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, m)...)
+		if _, err := io.ReadFull(br, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }

@@ -1,0 +1,32 @@
+package amt
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestGenerateCorpus regenerates the checked-in seed corpus when run with
+// REGEN_FUZZ_CORPUS=1; otherwise it only verifies the files decode.
+func TestGenerateCorpus(t *testing.T) {
+	if os.Getenv("REGEN_FUZZ_CORPUS") != "1" {
+		t.Skip("set REGEN_FUZZ_CORPUS=1 to regenerate")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeFrame")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden := AppendFrame(nil, &Frame{Kind: 5, Src: 1, Dst: 2, Epoch: 3, Seq: 4, Payload: []byte{0xab, 0xcd, 0xef}})
+	write("golden-frame", golden)
+	write("truncated-crc-trailer", golden[:len(golden)-2])
+	hostile := append([]byte(nil), golden[:FrameHeaderSize]...)
+	hostile[24], hostile[25], hostile[26], hostile[27] = 0xff, 0xff, 0xff, 0x0f
+	write("hostile-length", hostile)
+}

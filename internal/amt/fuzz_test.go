@@ -1,0 +1,55 @@
+package amt
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame drives ReadFrame with arbitrary streams. The decoder must
+// never panic; when it accepts a frame, re-encoding it must reproduce the
+// consumed bytes exactly (the header is fully canonical) and decode back to
+// the same frame.
+func FuzzDecodeFrame(f *testing.F) {
+	seed := func(fr *Frame) {
+		f.Add(AppendFrame(nil, fr))
+	}
+	seed(&Frame{Kind: 3, Src: 1, Dst: 2, Epoch: 7, Seq: 42, Payload: []byte("hello, frame")})
+	seed(&Frame{Flags: FlagAck, Kind: 1, Src: 2, Dst: 0, Seq: 9})
+	seed(&Frame{Kind: 0xffff, Src: 65535, Dst: 65535, Epoch: ^uint32(0), Seq: ^uint64(0)})
+
+	// Adversarial seeds: truncated header, truncated payload, corrupted
+	// CRC trailer, hostile length field.
+	golden := AppendFrame(nil, &Frame{Kind: 5, Payload: bytes.Repeat([]byte{0xab}, 64)})
+	f.Add(golden[:FrameHeaderSize-1])
+	f.Add(golden[:FrameHeaderSize+7])
+	crcFlipped := append([]byte(nil), golden...)
+	crcFlipped[28] ^= 0xff
+	f.Add(crcFlipped)
+	hostile := append([]byte(nil), golden[:FrameHeaderSize]...)
+	hostile[24], hostile[25], hostile[26], hostile[27] = 0xff, 0xff, 0xff, 0x0f
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		enc := AppendFrame(nil, &fr)
+		if len(enc) > len(data) {
+			t.Fatalf("re-encoded frame is %d bytes but only %d were available", len(enc), len(data))
+		}
+		if !bytes.Equal(enc, data[:len(enc)]) {
+			t.Fatalf("encode(decode(x)) != x:\n got %x\nwant %x", enc, data[:len(enc)])
+		}
+		fr2, err := ReadFrame(bufio.NewReader(bytes.NewReader(enc)))
+		if err != nil {
+			t.Fatalf("re-decoding a frame the decoder produced: %v", err)
+		}
+		if fr2.Kind != fr.Kind || fr2.Flags != fr.Flags || fr2.Src != fr.Src ||
+			fr2.Dst != fr.Dst || fr2.Epoch != fr.Epoch || fr2.Seq != fr.Seq ||
+			!bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatalf("round-trip mismatch: %+v != %+v", fr2, fr)
+		}
+	})
+}

@@ -183,6 +183,7 @@ func NewReduction(home *Locality, inputs int, init float64, op func(acc, in floa
 //
 //dashmm:locked LCO.mu — the fold closure runs inside LCO.Input's critical section, which is the lock guarding val.
 func (r *Reduction) Input(v float64) {
+	//lint:ignore lockorder the dashmm:locked line documents the fold closure's context inside LCO.Input, not Input's caller — nothing is held at this call
 	r.lco.Input(func() { r.val = r.op(r.val, v) })
 }
 

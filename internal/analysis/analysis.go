@@ -37,11 +37,15 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding, anchored to a source position.
+// Diagnostic is one finding, anchored to a source position. Detail, when
+// set, carries the multi-line supporting evidence — an acquisition chain
+// for lockorder, the field-by-field wire layout for wireproto — that is
+// too long for the one-line Message but belongs in -json output.
 type Diagnostic struct {
 	Check   string
 	Pos     token.Position
 	Message string
+	Detail  string
 }
 
 func (d Diagnostic) String() string {
@@ -58,6 +62,15 @@ type Analyzer interface {
 	Doc() string
 	// Run analyzes one type-checked package.
 	Run(p *Pass)
+}
+
+// Finisher is an optional Analyzer extension for interprocedural checkers:
+// Run accumulates per-package facts, and after every pass has been visited
+// the driver calls Finish once for the cross-package findings (which are
+// still subject to //lint:ignore suppression, keyed by Diagnostic.Check).
+type Finisher interface {
+	Analyzer
+	Finish() []Diagnostic
 }
 
 // Pass is one type-checked package presented to an Analyzer.
@@ -86,10 +99,16 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 // and returns the rest sorted by position. Malformed suppression comments
 // are reported as diagnostics of the pseudo-check "lint".
 func Run(passes []*Pass, analyzers []Analyzer) []Diagnostic {
+	// The suppression table is merged across passes (it is keyed by
+	// filename, so entries cannot leak between packages) because Finisher
+	// analyzers report after every pass has run, possibly into files of
+	// any earlier pass.
+	sup := newSuppressions()
 	var out []Diagnostic
 	for _, p := range passes {
-		sup, supDiags := collectSuppressions(p)
-		out = append(out, supDiags...)
+		out = append(out, sup.collect(p.Fset, p.Files)...)
+	}
+	for _, p := range passes {
 		for _, a := range analyzers {
 			p.current = a
 			p.diags = p.diags[:0]
@@ -101,6 +120,17 @@ func Run(passes []*Pass, analyzers []Analyzer) []Diagnostic {
 			}
 		}
 		p.current = nil
+	}
+	for _, a := range analyzers {
+		f, ok := a.(Finisher)
+		if !ok {
+			continue
+		}
+		for _, d := range f.Finish() {
+			if !sup.suppressed(d.Check, d.Pos) {
+				out = append(out, d)
+			}
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
@@ -126,6 +156,8 @@ func DefaultAnalyzers() []Analyzer {
 		NewDeterminism(),
 		NewNoAlloc(),
 		NewGoroutine(),
+		NewLockOrder(),
+		NewWireProto(),
 	}
 }
 

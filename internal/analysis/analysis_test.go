@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -95,6 +96,85 @@ func TestGoroutineFixture(t *testing.T) {
 	runFixture(t, "goroutine", &Goroutine{Packages: []string{"fixture/goroutine"}})
 }
 
+func TestLockOrderFixture(t *testing.T) {
+	runFixture(t, "lockorder", &LockOrder{Packages: []string{"fixture/lockorder"}})
+}
+
+func TestWireProtoFixture(t *testing.T) {
+	runFixture(t, "wireproto", NewWireProto())
+}
+
+// TestDiagnosticDetail asserts the machine-readable payloads -json exposes:
+// every lockorder finding carries its acquisition chain in Detail, and
+// wireproto coverage/order findings carry both sides' field layouts.
+func TestDiagnosticDetail(t *testing.T) {
+	_, pass := loadFixture(t, "lockorder")
+	diags := Run([]*Pass{pass}, []Analyzer{&LockOrder{Packages: []string{"fixture/lockorder"}}})
+	if len(diags) == 0 {
+		t.Fatal("lockorder fixture produced no diagnostics")
+	}
+	for _, d := range diags {
+		if d.Detail == "" {
+			t.Errorf("lockorder diagnostic missing acquisition chain: %s", d)
+		}
+	}
+
+	_, pass = loadFixture(t, "wireproto")
+	diags = Run([]*Pass{pass}, []Analyzer{NewWireProto()})
+	withLayout := 0
+	for _, d := range diags {
+		if strings.Contains(d.Detail, "encode:") && strings.Contains(d.Detail, "decode:") {
+			withLayout++
+		}
+	}
+	if withLayout == 0 {
+		t.Errorf("no wireproto diagnostic carries the field-layout detail: %v", diags)
+	}
+}
+
+// TestLockOrderScoping verifies the package allowlist: outside its
+// configured universe the checker records nothing and stays silent.
+func TestLockOrderScoping(t *testing.T) {
+	_, pass := loadFixture(t, "lockorder")
+	diags := Run([]*Pass{pass}, []Analyzer{NewLockOrder()})
+	if len(diags) != 0 {
+		t.Fatalf("lockorder fired outside its package list: %v", diags)
+	}
+}
+
+// TestEscapeGate compiles the escapegate fixture in a throwaway module and
+// checks the compiler-backed gate: the genuine escape is reported, the
+// suppressed one is not, the clean and unannotated functions stay silent.
+func TestEscapeGate(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "escapegate", "esc.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module escfixture\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "esc.go"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags, err := RunEscapeGate(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("RunEscapeGate: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the Leak diagnostic, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Check != "escape-gate" {
+		t.Errorf("check = %q, want escape-gate", d.Check)
+	}
+	if !strings.Contains(d.Message, "heap escape in //dashmm:noalloc Leak") ||
+		!strings.Contains(d.Message, "moved to heap") {
+		t.Errorf("unexpected message: %s", d.Message)
+	}
+}
+
 // TestDeterminismScoping verifies the package allowlist: the same fixture
 // linted under an import path outside the configured list yields nothing.
 func TestDeterminismScoping(t *testing.T) {
@@ -149,9 +229,9 @@ func TestDiagnosticOrdering(t *testing.T) {
 	}
 }
 
-// TestAnalyzerRegistry pins the suite: five checkers with stable names.
+// TestAnalyzerRegistry pins the suite: seven checkers with stable names.
 func TestAnalyzerRegistry(t *testing.T) {
-	want := []string{"lockguard", "atomicfield", "determinism", "hotpath-noalloc", "goroutine-hygiene"}
+	want := []string{"lockguard", "atomicfield", "determinism", "hotpath-noalloc", "goroutine-hygiene", "lockorder", "wireproto"}
 	got := DefaultAnalyzers()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d analyzers, want %d", len(got), len(want))

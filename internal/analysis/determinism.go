@@ -27,13 +27,17 @@ type Determinism struct {
 }
 
 // NewDeterminism returns the determinism analyzer with the default package
-// list (the numeric core).
+// list: the numeric core, plus tree construction and DAG derivation — the
+// ROADMAP's incremental-repair work diffs Morton orders and DAG regions
+// between time steps, which only means anything if both are reproducible.
 func NewDeterminism() *Determinism {
 	return &Determinism{Packages: []string{
 		"internal/points",
 		"internal/kernel",
 		"internal/sphharm",
 		"internal/geom",
+		"internal/tree",
+		"internal/dag",
 	}}
 }
 

@@ -1,0 +1,933 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LockOrder is the interprocedural lock-acquisition checker. Across every
+// package it applies to (by import-path suffix) it builds a call graph,
+// tracks which (type, mutex-field) locks are held at each call site and
+// blocking operation with a flow-approximate walk of every function body,
+// and then propagates acquisitions and blocking effects through the graph
+// to a fixpoint. It reports two finding classes:
+//
+//   - lock-order cycles: if lock A is ever held while B is acquired and —
+//     anywhere in the program, possibly through calls — B is held while A
+//     is acquired, the acquisition graph has a cycle and the two paths can
+//     deadlock against each other. Every edge on a cycle is reported, each
+//     with its full acquisition chain.
+//
+//   - blocking while locked: a channel send/receive, blocking select,
+//     net.Conn read/write, amt Transport.Send, sync.WaitGroup.Wait or
+//     time.Sleep reached (directly or through calls) while any mutex is
+//     held. Holding a lock across an unbounded wait extends the critical
+//     section arbitrarily and couples the lock to the liveness of whatever
+//     the wait is for.
+//
+// Lock identity is type-granular — (package, type, mutex field) — like
+// lockguard: two instances of the same type count as the same lock, which
+// over-approximates (a parent/child pair locked in both orders is a real
+// cycle this flags) but keeps the analysis annotation-free. The held-set
+// walk understands early-return unlock idioms (`if ... { mu.Unlock();
+// return }`), deferred unlocks (held to function end), and merges branches
+// by intersection; `go` statements and function literals are not charged
+// to the spawning function, and sync.Cond.Wait is not a blocking op (it
+// releases the associated mutex while waiting). //dashmm:locked annotations
+// seed the entry held-set. Findings are suppressed only by the strict
+// //lint:ignore form on the reported line.
+type LockOrder struct {
+	// Packages lists import-path suffixes included in the call graph.
+	Packages []string
+
+	funcs map[string]*loFunc
+}
+
+// NewLockOrder returns the lockorder analyzer scoped to the runtime's
+// concurrency-bearing packages.
+func NewLockOrder() *LockOrder {
+	return &LockOrder{
+		Packages: []string{"internal/amt", "internal/core", "internal/serve"},
+		funcs:    map[string]*loFunc{},
+	}
+}
+
+// Name implements Analyzer.
+func (*LockOrder) Name() string { return "lockorder" }
+
+// Doc implements Analyzer.
+func (*LockOrder) Doc() string {
+	return "interprocedural lock-acquisition cycles and blocking calls made while a mutex is held"
+}
+
+// loHeld is one lock held at a program point.
+type loHeld struct {
+	lock string         // canonical key: pkgpath.Type.field
+	disp string         // display: Type.field
+	at   token.Position // where it was acquired (or the annotated func)
+}
+
+// loAcquire is one Lock/RLock call, with the locks already held there.
+type loAcquire struct {
+	lock string
+	disp string
+	at   token.Position
+	held []loHeld
+}
+
+// loCall is one statically resolved call into the analysis universe.
+type loCall struct {
+	callee string
+	at     token.Position
+	held   []loHeld
+}
+
+// loBlockOp is one directly blocking operation.
+type loBlockOp struct {
+	what string
+	at   token.Position
+	held []loHeld
+}
+
+// loFunc is the per-function summary accumulated during Run.
+type loFunc struct {
+	name     string // display: pkg.Type.Func
+	acquires []loAcquire
+	calls    []loCall
+	blocks   []loBlockOp
+}
+
+func (c *LockOrder) applies(p *Pass) bool {
+	for _, suffix := range c.Packages {
+		if strings.HasSuffix(p.Path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run implements Analyzer: summarize every function of an in-scope package.
+func (c *LockOrder) Run(p *Pass) {
+	if !c.applies(p) {
+		return
+	}
+	if c.funcs == nil {
+		c.funcs = map[string]*loFunc{}
+	}
+	walkFuncs(p, func(_ *ast.File, fn *ast.FuncDecl) {
+		obj, ok := p.Info.Defs[fn.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		f := &loFunc{name: loShortPkg(p.Path) + "." + funcName(fn)}
+		c.funcs[loFuncKey(obj)] = f
+		s := &loScan{c: c, p: p, fn: f}
+		held := c.entryHeld(p, fn)
+		s.block(fn.Body.List, held)
+	})
+}
+
+// entryHeld seeds the held-set from a //dashmm:locked Type.mu annotation.
+func (c *LockOrder) entryHeld(p *Pass, fn *ast.FuncDecl) []loHeld {
+	rest, ok := funcHasDirective(fn, "dashmm:locked")
+	if !ok {
+		return nil
+	}
+	spec, _, _ := strings.Cut(rest, " ")
+	typeName, mutex, ok := strings.Cut(spec, ".")
+	if !ok {
+		return nil // lockguard reports the malformed annotation
+	}
+	named, _ := lookupNamed(p.Pkg, typeName)
+	if named == nil {
+		return nil
+	}
+	return []loHeld{{
+		lock: p.Pkg.Path() + "." + typeName + "." + mutex,
+		disp: typeName + "." + mutex,
+		at:   p.Fset.Position(fn.Pos()),
+	}}
+}
+
+// loFuncKey names a function uniquely across packages.
+func loFuncKey(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := namedOf(sig.Recv().Type()); n != nil {
+			return pkg + "." + n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + "." + fn.Name()
+}
+
+func loShortPkg(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// loPos renders a position as base-filename:line for acquisition chains.
+func loPos(p token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// ---- per-function held-set walk ----
+
+type loScan struct {
+	c  *LockOrder
+	p  *Pass
+	fn *loFunc
+}
+
+func cloneHeld(held []loHeld) []loHeld {
+	return append([]loHeld(nil), held...)
+}
+
+func heldHas(held []loHeld, lock string) bool {
+	for _, h := range held {
+		if h.lock == lock {
+			return true
+		}
+	}
+	return false
+}
+
+func heldRemove(held []loHeld, lock string) []loHeld {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].lock == lock {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// intersectHeld keeps the locks of a that are also in b, in a's order.
+func intersectHeld(a, b []loHeld) []loHeld {
+	var out []loHeld
+	for _, h := range a {
+		if heldHas(b, h.lock) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func (s *loScan) block(list []ast.Stmt, held []loHeld) []loHeld {
+	for _, st := range list {
+		held = s.stmt(st, held)
+	}
+	return held
+}
+
+// branch scans a statement list on a cloned held-set and reports whether
+// the list definitely terminates the function (return/branch/panic), in
+// which case its exit set never merges back.
+func (s *loScan) branch(list []ast.Stmt, held []loHeld) (exit []loHeld, terminates bool) {
+	exit = s.block(list, cloneHeld(held))
+	return exit, loTerminates(list)
+}
+
+func loTerminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s *loScan) stmt(st ast.Stmt, held []loHeld) []loHeld {
+	switch t := st.(type) {
+	case nil:
+		return held
+	case *ast.BlockStmt:
+		return s.block(t.List, held)
+	case *ast.LabeledStmt:
+		return s.stmt(t.Stmt, held)
+	case *ast.ExprStmt:
+		return s.expr(t.X, held)
+	case *ast.SendStmt:
+		held = s.expr(t.Chan, held)
+		held = s.expr(t.Value, held)
+		s.blockOp("channel send", t.Arrow, held)
+		return held
+	case *ast.AssignStmt:
+		for _, e := range t.Rhs {
+			held = s.expr(e, held)
+		}
+		for _, e := range t.Lhs {
+			held = s.expr(e, held)
+		}
+		return held
+	case *ast.DeclStmt:
+		if gd, ok := t.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						held = s.expr(e, held)
+					}
+				}
+			}
+		}
+		return held
+	case *ast.IncDecStmt:
+		return s.expr(t.X, held)
+	case *ast.ReturnStmt:
+		for _, e := range t.Results {
+			held = s.expr(e, held)
+		}
+		return held
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end, which the
+		// model already assumes; any other deferred call runs at exit under
+		// an unknown held-set and is not charged here.
+		return held
+	case *ast.GoStmt:
+		// The spawned goroutine does not run under the caller's locks.
+		return held
+	case *ast.IfStmt:
+		held = s.stmt(t.Init, held)
+		held = s.expr(t.Cond, held)
+		thenExit, thenTerm := s.branch(t.Body.List, held)
+		elseExit, elseTerm := held, false
+		if t.Else != nil {
+			elseExit, elseTerm = s.branch([]ast.Stmt{t.Else}, held)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held // code after is unreachable
+		case thenTerm:
+			return elseExit
+		case elseTerm:
+			return thenExit
+		default:
+			return intersectHeld(thenExit, elseExit)
+		}
+	case *ast.ForStmt:
+		held = s.stmt(t.Init, held)
+		held = s.expr(t.Cond, held)
+		s.branch(t.Body.List, held)
+		s.stmt(t.Post, cloneHeld(held))
+		return held
+	case *ast.RangeStmt:
+		held = s.expr(t.X, held)
+		if tv, ok := s.p.Info.Types[t.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				s.blockOp("channel receive (range)", t.For, held)
+			}
+		}
+		s.branch(t.Body.List, held)
+		return held
+	case *ast.SwitchStmt:
+		held = s.stmt(t.Init, held)
+		held = s.expr(t.Tag, held)
+		return s.caseExits(t.Body, held)
+	case *ast.TypeSwitchStmt:
+		held = s.stmt(t.Init, held)
+		held = s.stmt(t.Assign, held)
+		return s.caseExits(t.Body, held)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cl := range t.Body.List {
+			if comm, ok := cl.(*ast.CommClause); ok {
+				if comm.Comm == nil {
+					hasDefault = true
+				}
+				// The comm send/recv belongs to the select itself; only the
+				// clause bodies are walked.
+				s.branch(comm.Body, held)
+			}
+		}
+		if !hasDefault {
+			s.blockOp("blocking select", t.Select, held)
+		}
+		return held
+	default:
+		return held
+	}
+}
+
+// caseExits walks every case clause of a switch body on a cloned held-set
+// and merges the non-terminating exits (plus the fallthrough path when no
+// default exists) by intersection.
+func (s *loScan) caseExits(body *ast.BlockStmt, held []loHeld) []loHeld {
+	exits := [][]loHeld{}
+	hasDefault := false
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			held = s.expr(e, held)
+		}
+		if exit, term := s.branch(cc.Body, held); !term {
+			exits = append(exits, exit)
+		}
+	}
+	if !hasDefault {
+		exits = append(exits, held)
+	}
+	if len(exits) == 0 {
+		return held
+	}
+	out := exits[0]
+	for _, e := range exits[1:] {
+		out = intersectHeld(out, e)
+	}
+	return out
+}
+
+// expr walks one expression for lock, call and blocking events in source
+// order. Function literals are skipped: they run later, not under the
+// current held-set.
+func (s *loScan) expr(e ast.Expr, held []loHeld) []loHeld {
+	if e == nil {
+		return held
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if t.Op == token.ARROW {
+				s.blockOp("channel receive", t.OpPos, held)
+			}
+		case *ast.CallExpr:
+			held = s.call(t, held)
+		}
+		return true
+	})
+	return held
+}
+
+// call classifies one call expression: mutex acquire/release, blocking
+// operation, or a static call edge into the analysis universe.
+func (s *loScan) call(t *ast.CallExpr, held []loHeld) []loHeld {
+	if sel, ok := t.Fun.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			if lock, disp, ok := s.lockOf(sel.X); ok {
+				at := s.p.Fset.Position(sel.Pos())
+				s.fn.acquires = append(s.fn.acquires, loAcquire{lock: lock, disp: disp, at: at, held: cloneHeld(held)})
+				if !heldHas(held, lock) {
+					held = append(cloneHeld(held), loHeld{lock: lock, disp: disp, at: at})
+				}
+				return held
+			}
+		case "Unlock", "RUnlock":
+			if lock, _, ok := s.lockOf(sel.X); ok {
+				return heldRemove(held, lock)
+			}
+		}
+		if what, ok := s.blockingCall(sel); ok {
+			s.blockOp(what, sel.Pos(), held)
+			return held
+		}
+	}
+	if callee := s.staticCallee(t); callee != nil {
+		pkg := callee.Pkg()
+		if pkg != nil && s.c.inUniverse(pkg.Path()) {
+			if sig, ok := callee.Type().(*types.Signature); ok {
+				if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+					return held // dynamic dispatch: no static edge
+				}
+			}
+			s.fn.calls = append(s.fn.calls, loCall{
+				callee: loFuncKey(callee),
+				at:     s.p.Fset.Position(t.Pos()),
+				held:   cloneHeld(held),
+			})
+		}
+	}
+	return held
+}
+
+func (c *LockOrder) inUniverse(path string) bool {
+	for _, suffix := range c.Packages {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *loScan) staticCallee(t *ast.CallExpr) *types.Func {
+	switch f := t.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := s.p.Info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel := s.p.Info.Selections[f]; sel != nil {
+			if sel.Kind() == types.MethodVal {
+				fn, _ := sel.Obj().(*types.Func)
+				return fn
+			}
+			return nil
+		}
+		fn, _ := s.p.Info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// lockOf resolves the receiver of a Lock/Unlock call to a type-granular
+// lock identity: x.mu (field), x.locks[i] (slice-of-mutex field), or a
+// package-level mutex var. Local mutex variables are not tracked.
+func (s *loScan) lockOf(x ast.Expr) (lock, disp string, ok bool) {
+	tv, found := s.p.Info.Types[x]
+	if !found || !isMutexType(tv.Type) {
+		return "", "", false
+	}
+	switch t := x.(type) {
+	case *ast.SelectorExpr:
+		holderTV, found := s.p.Info.Types[t.X]
+		if !found {
+			return "", "", false
+		}
+		n := namedOf(holderTV.Type)
+		if n == nil {
+			return "", "", false
+		}
+		pkg := ""
+		if n.Obj().Pkg() != nil {
+			pkg = n.Obj().Pkg().Path()
+		}
+		return pkg + "." + n.Obj().Name() + "." + t.Sel.Name, n.Obj().Name() + "." + t.Sel.Name, true
+	case *ast.IndexExpr:
+		sel, isSel := t.X.(*ast.SelectorExpr)
+		if !isSel {
+			return "", "", false
+		}
+		holderTV, found := s.p.Info.Types[sel.X]
+		if !found {
+			return "", "", false
+		}
+		n := namedOf(holderTV.Type)
+		if n == nil {
+			return "", "", false
+		}
+		pkg := ""
+		if n.Obj().Pkg() != nil {
+			pkg = n.Obj().Pkg().Path()
+		}
+		return pkg + "." + n.Obj().Name() + "." + sel.Sel.Name + "[]", n.Obj().Name() + "." + sel.Sel.Name + "[]", true
+	case *ast.Ident:
+		v, isVar := s.p.Info.Uses[t].(*types.Var)
+		if !isVar || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+			return "", "", false
+		}
+		return v.Pkg().Path() + "." + v.Name(), loShortPkg(v.Pkg().Path()) + "." + v.Name(), true
+	}
+	return "", "", false
+}
+
+// blockingCall classifies method/function calls that can block unboundedly.
+// sync.Cond.Wait is deliberately absent: it releases the associated mutex
+// while waiting, so holding that mutex across it is the intended idiom.
+func (s *loScan) blockingCall(sel *ast.SelectorExpr) (string, bool) {
+	name := sel.Sel.Name
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := s.p.Info.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() == "time" && name == "Sleep" {
+				return "time.Sleep", true
+			}
+			return "", false
+		}
+	}
+	tv, ok := s.p.Info.Types[sel.X]
+	if !ok {
+		return "", false
+	}
+	n := namedOf(tv.Type)
+	if n == nil {
+		return "", false
+	}
+	obj := n.Obj()
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	switch {
+	case pkg == "net" && obj.Name() == "Conn" && (name == "Write" || name == "Read"):
+		return "net.Conn." + name, true
+	case pkg == "net" && obj.Name() == "Listener" && name == "Accept":
+		return "net.Listener.Accept", true
+	case pkg == "sync" && obj.Name() == "WaitGroup" && name == "Wait":
+		return "sync.WaitGroup.Wait", true
+	case pkg == "bufio" && obj.Name() == "Writer" && name == "Flush":
+		return "bufio.Writer.Flush", true
+	case pkg == "os/exec" && obj.Name() == "Cmd" &&
+		(name == "Wait" || name == "Run" || name == "Output" || name == "CombinedOutput"):
+		return "exec.Cmd." + name, true
+	case strings.HasSuffix(pkg, "internal/amt") && obj.Name() == "Transport" && name == "Send":
+		return "Transport.Send", true
+	}
+	return "", false
+}
+
+func (s *loScan) blockOp(what string, pos token.Pos, held []loHeld) {
+	s.fn.blocks = append(s.fn.blocks, loBlockOp{
+		what: what,
+		at:   s.p.Fset.Position(pos),
+		held: cloneHeld(held),
+	})
+}
+
+// ---- interprocedural fixpoint and reporting ----
+
+// loWitness is one provable chain of steps ending at a terminal event.
+type loWitness struct {
+	chain []string
+	pos   token.Position
+}
+
+// Finish implements Finisher: propagate acquisitions and blocking effects
+// over the accumulated call graph and report cycles and blocking-while-
+// locked sites.
+func (c *LockOrder) Finish() []Diagnostic {
+	keys := make([]string, 0, len(c.funcs))
+	for k := range c.funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// mayAcquire: func -> lock -> first witness (deterministic because
+	// functions, calls and callee locks are visited in sorted order).
+	mayAcq := map[string]map[string]*loWitness{}
+	for _, k := range keys {
+		f := c.funcs[k]
+		m := map[string]*loWitness{}
+		for _, a := range f.acquires {
+			if m[a.lock] == nil {
+				m[a.lock] = &loWitness{
+					chain: []string{fmt.Sprintf("%s acquired at %s (in %s)", a.disp, loPos(a.at), f.name)},
+					pos:   a.at,
+				}
+			}
+		}
+		mayAcq[k] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, k := range keys {
+			f := c.funcs[k]
+			for _, call := range f.calls {
+				gm := mayAcq[call.callee]
+				if gm == nil {
+					continue
+				}
+				for _, lk := range sortedWitnessKeys(gm) {
+					if mayAcq[k][lk] != nil {
+						continue
+					}
+					w := gm[lk]
+					mayAcq[k][lk] = &loWitness{
+						chain: append([]string{fmt.Sprintf("%s calls %s at %s", f.name, c.funcs[call.callee].name, loPos(call.at))}, w.chain...),
+						pos:   w.pos,
+					}
+					changed = true
+				}
+			}
+		}
+	}
+
+	// mayBlock: func -> terminal-event key -> witness, capped per function
+	// to keep deep call chains from multiplying diagnostics.
+	const maxBlockWitnesses = 6
+	mayBlk := map[string]map[string]*loWitness{}
+	for _, k := range keys {
+		f := c.funcs[k]
+		m := map[string]*loWitness{}
+		for _, b := range f.blocks {
+			bk := b.what + "@" + loPos(b.at)
+			if m[bk] == nil && len(m) < maxBlockWitnesses {
+				m[bk] = &loWitness{
+					chain: []string{fmt.Sprintf("%s at %s (in %s)", b.what, loPos(b.at), f.name)},
+					pos:   b.at,
+				}
+			}
+		}
+		mayBlk[k] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, k := range keys {
+			f := c.funcs[k]
+			for _, call := range f.calls {
+				gm := mayBlk[call.callee]
+				if gm == nil {
+					continue
+				}
+				for _, bk := range sortedWitnessKeys(gm) {
+					if mayBlk[k][bk] != nil || len(mayBlk[k]) >= maxBlockWitnesses {
+						continue
+					}
+					w := gm[bk]
+					mayBlk[k][bk] = &loWitness{
+						chain: append([]string{fmt.Sprintf("%s calls %s at %s", f.name, c.funcs[call.callee].name, loPos(call.at))}, w.chain...),
+						pos:   w.pos,
+					}
+					changed = true
+				}
+			}
+		}
+	}
+
+	var out []Diagnostic
+
+	// Blocking while locked: direct operations, then calls that reach one.
+	for _, k := range keys {
+		f := c.funcs[k]
+		for _, b := range f.blocks {
+			if len(b.held) == 0 {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Check:   c.Name(),
+				Pos:     b.at,
+				Message: fmt.Sprintf("%s while holding %s", b.what, heldList(b.held)),
+				Detail:  heldDetail(b.held),
+			})
+		}
+		for _, call := range f.calls {
+			if len(call.held) == 0 {
+				continue
+			}
+			gm := mayBlk[call.callee]
+			if len(gm) == 0 {
+				continue
+			}
+			bk := sortedWitnessKeys(gm)[0]
+			w := gm[bk]
+			out = append(out, Diagnostic{
+				Check: c.Name(),
+				Pos:   call.at,
+				Message: fmt.Sprintf("call to %s may reach %s (%s) while holding %s",
+					c.funcs[call.callee].name, w.what(), loPos(w.pos), heldList(call.held)),
+				Detail: heldDetail(call.held) + "\n" + strings.Join(w.chain, "\n"),
+			})
+		}
+	}
+
+	// Lock-order edges, then cycle detection over the edge graph.
+	type loEdge struct {
+		from, to string
+		fromDisp string
+		toDisp   string
+		chain    []string
+		pos      token.Position
+	}
+	edges := map[string]*loEdge{}
+	edgeKeys := []string{}
+	addEdge := func(e *loEdge) {
+		k := e.from + " -> " + e.to
+		if edges[k] == nil {
+			edges[k] = e
+			edgeKeys = append(edgeKeys, k)
+		}
+	}
+	for _, k := range keys {
+		f := c.funcs[k]
+		for _, a := range f.acquires {
+			for _, h := range a.held {
+				addEdge(&loEdge{
+					from: h.lock, to: a.lock, fromDisp: h.disp, toDisp: a.disp,
+					chain: []string{
+						fmt.Sprintf("%s acquired at %s", h.disp, loPos(h.at)),
+						fmt.Sprintf("%s acquired at %s (in %s)", a.disp, loPos(a.at), f.name),
+					},
+					pos: a.at,
+				})
+			}
+		}
+		for _, call := range f.calls {
+			if len(call.held) == 0 {
+				continue
+			}
+			am := mayAcq[call.callee]
+			if am == nil {
+				continue
+			}
+			for _, lk := range sortedWitnessKeys(am) {
+				w := am[lk]
+				for _, h := range call.held {
+					addEdge(&loEdge{
+						from: h.lock, to: lk, fromDisp: h.disp, toDisp: lockDisp(lk, w),
+						chain: append([]string{
+							fmt.Sprintf("%s acquired at %s", h.disp, loPos(h.at)),
+							fmt.Sprintf("%s calls %s at %s", f.name, c.funcs[call.callee].name, loPos(call.at)),
+						}, w.chain...),
+						pos: call.at,
+					})
+				}
+			}
+		}
+	}
+
+	// Strongly connected components of the lock graph: any SCC with more
+	// than one lock (or a self-loop) is a potential deadlock; every edge
+	// inside it is reported with its own witness chain.
+	adj := map[string][]string{}
+	for _, ek := range edgeKeys {
+		e := edges[ek]
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	scc := loSCC(adj)
+	for _, ek := range edgeKeys {
+		e := edges[ek]
+		cyclic := e.from == e.to ||
+			(scc[e.from] != 0 && scc[e.from] == scc[e.to])
+		if !cyclic {
+			continue
+		}
+		cycle := e.fromDisp + " -> " + e.toDisp
+		if e.from != e.to {
+			cycle += " -> " + e.fromDisp
+		}
+		out = append(out, Diagnostic{
+			Check: c.Name(),
+			Pos:   e.pos,
+			Message: fmt.Sprintf("acquiring %s while holding %s completes a lock-order cycle (%s)",
+				e.toDisp, e.fromDisp, cycle),
+			Detail: strings.Join(e.chain, "\n"),
+		})
+	}
+	return out
+}
+
+// what extracts the terminal event name from a blocking witness chain.
+func (w *loWitness) what() string {
+	last := w.chain[len(w.chain)-1]
+	if i := strings.Index(last, " at "); i >= 0 {
+		return last[:i]
+	}
+	return last
+}
+
+func lockDisp(lock string, w *loWitness) string {
+	// The witness terminal line starts with the lock's display name.
+	last := w.chain[len(w.chain)-1]
+	if i := strings.Index(last, " acquired"); i >= 0 {
+		return last[:i]
+	}
+	return lock
+}
+
+func sortedWitnessKeys(m map[string]*loWitness) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func heldList(held []loHeld) string {
+	parts := make([]string, len(held))
+	for i, h := range held {
+		parts[i] = h.disp
+	}
+	return strings.Join(parts, ", ")
+}
+
+func heldDetail(held []loHeld) string {
+	parts := make([]string, len(held))
+	for i, h := range held {
+		parts[i] = fmt.Sprintf("%s acquired at %s", h.disp, loPos(h.at))
+	}
+	return strings.Join(parts, "\n")
+}
+
+// loSCC labels every node on a multi-node strongly connected component
+// with a nonzero component id (Tarjan's algorithm, iterative enough for
+// the small lock graphs here; recursion depth is bounded by lock count).
+func loSCC(adj map[string][]string) map[string]int {
+	nodes := make([]string, 0, len(adj))
+	seen := map[string]bool{}
+	for n, outs := range adj {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+		for _, m := range outs {
+			if !seen[m] {
+				seen[m] = true
+				nodes = append(nodes, m)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	comp := map[string]int{}
+	next, compID := 1, 0
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		outs := append([]string(nil), adj[v]...)
+		sort.Strings(outs)
+		for _, w := range outs {
+			if index[w] == 0 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			if len(members) > 1 {
+				compID++
+				for _, m := range members {
+					comp[m] = compID
+				}
+			}
+		}
+	}
+	for _, n := range nodes {
+		if index[n] == 0 {
+			strong(n)
+		}
+	}
+	return comp
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/ast"
 	"go/token"
 	"strings"
 )
@@ -29,14 +30,17 @@ func (s *suppressions) suppressed(check string, pos token.Position) bool {
 
 const ignorePrefix = "lint:ignore"
 
-// collectSuppressions scans every comment of the pass for //lint:ignore
-// directives. Malformed directives (no check list, or no reason) are
-// reported as diagnostics of the pseudo-check "lint" so a suppression can
-// never silently rot into a no-op.
-func collectSuppressions(p *Pass) (*suppressions, []Diagnostic) {
-	s := &suppressions{byFileLine: map[string]map[int]map[string]bool{}}
+func newSuppressions() *suppressions {
+	return &suppressions{byFileLine: map[string]map[int]map[string]bool{}}
+}
+
+// collect scans every comment of the files for //lint:ignore directives and
+// merges them into the table. Malformed directives (no check list, or no
+// reason) are returned as diagnostics of the pseudo-check "lint" so a
+// suppression can never silently rot into a no-op.
+func (s *suppressions) collect(fset *token.FileSet, files []*ast.File) []Diagnostic {
 	var diags []Diagnostic
-	for _, f := range p.Files {
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				// Strict directive form only: //lint:ignore with no space
@@ -47,7 +51,7 @@ func collectSuppressions(p *Pass) (*suppressions, []Diagnostic) {
 				}
 				rest := strings.TrimSpace(text)
 				checksField, reason, _ := strings.Cut(rest, " ")
-				pos := p.Fset.Position(c.Pos())
+				pos := fset.Position(c.Pos())
 				if checksField == "" || strings.TrimSpace(reason) == "" {
 					diags = append(diags, Diagnostic{
 						Check: "lint",
@@ -75,5 +79,5 @@ func collectSuppressions(p *Pass) (*suppressions, []Diagnostic) {
 			}
 		}
 	}
-	return s, diags
+	return diags
 }

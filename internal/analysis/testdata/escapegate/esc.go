@@ -1,0 +1,39 @@
+// Package esc is compiled in a throwaway module by TestEscapeGate: one
+// //dashmm:noalloc function with a genuine compiler-proved escape, one with
+// a suppressed deliberate escape, one clean, and one unannotated function
+// whose escapes must not be reported.
+package esc
+
+// Leak violates its annotation: x is moved to the heap.
+//
+//dashmm:noalloc
+func Leak() *int {
+	x := 42
+	return &x
+}
+
+// LeakOK escapes too, but carries a reasoned suppression.
+//
+//dashmm:noalloc
+func LeakOK() *int {
+	//lint:ignore escape-gate deliberate escape exercising the suppression path of the gate
+	y := 7
+	return &y
+}
+
+// Sum honors the contract: everything stays on the stack.
+//
+//dashmm:noalloc
+func Sum(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// Unannotated allocates freely; the gate only polices annotated functions.
+func Unannotated() *[]int {
+	s := make([]int, 8)
+	return &s
+}

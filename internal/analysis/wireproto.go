@@ -1,0 +1,568 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// WireProto statically verifies encoder/decoder field coverage for the
+// repository's framed wire formats. A codec declares itself with a pair of
+// annotations on the two functions:
+//
+//	//dashmm:wire <pair> encode <SubjectType>
+//	//dashmm:wire <pair> decode <SubjectType>
+//
+// The checker walks each side's body in source order — following calls to
+// helpers in the repository, so nested appendX/readX encoders count — and
+// records every field access of the subject type and of any module-internal
+// struct type reachable from it through fields, slices, maps and pointers.
+// The two sides must then agree per type: a field touched by encode but
+// never by decode (or vice versa) is a lost wire field, and fields common
+// to both sides must appear in the same first-occurrence order, since a
+// manual binary codec's field order IS its byte layout.
+//
+// A subject (or nested) type handled by encoding/json on both sides is
+// exempt from ordering — JSON is self-describing — but its struct tags are
+// checked for duplicate effective keys, and a type json-marshaled on one
+// side but hand-decoded (or ignored) on the other is reported: that is the
+// exact shape of a silent cross-version corruption.
+type WireProto struct {
+	sides     map[string][]*wpSide
+	pairOrder []string
+	index     map[string]*wpIndexed
+}
+
+// NewWireProto returns the wireproto analyzer.
+func NewWireProto() *WireProto { return &WireProto{} }
+
+// Name implements Analyzer.
+func (*WireProto) Name() string { return "wireproto" }
+
+// Doc implements Analyzer.
+func (*WireProto) Doc() string {
+	return "encoder/decoder pairs annotated //dashmm:wire must cover the same fields in the same order"
+}
+
+// wpIndexed is one function body available for helper traversal.
+type wpIndexed struct {
+	p  *Pass
+	fn *ast.FuncDecl
+}
+
+// wpField is one declared struct field of a subject type.
+type wpField struct {
+	name     string
+	tag      string
+	exported bool
+}
+
+// wpType is one struct type in a subject graph.
+type wpType struct {
+	key    string // pkgpath.Name
+	disp   string // Name
+	fields []wpField
+}
+
+// wpEvent is one field access, in source order.
+type wpEvent struct {
+	typ   string
+	field string
+	pos   token.Position
+}
+
+// wpSide is one annotated encode or decode function.
+type wpSide struct {
+	pair       string
+	mode       string // "encode" or "decode"
+	subjectKey string
+	graph      map[string]*wpType
+	graphOrder []string
+	fnKey      string
+	fnName     string
+	pos        token.Position
+	events     []wpEvent
+	jsonOn     map[string]token.Position
+}
+
+// Run implements Analyzer: index every function body (for helper
+// traversal) and collect the //dashmm:wire annotations. Event collection
+// waits for Finish, when helpers from every package are indexed.
+func (c *WireProto) Run(p *Pass) {
+	if c.index == nil {
+		c.index = map[string]*wpIndexed{}
+		c.sides = map[string][]*wpSide{}
+	}
+	walkFuncs(p, func(_ *ast.File, fn *ast.FuncDecl) {
+		obj, ok := p.Info.Defs[fn.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		c.index[loFuncKey(obj)] = &wpIndexed{p: p, fn: fn}
+
+		rest, ok := funcHasDirective(fn, "dashmm:wire")
+		if !ok {
+			return
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 3 {
+			p.Report(fn.Pos(), "malformed //dashmm:wire %q: want \"<pair> <encode|decode> <SubjectType>\"", rest)
+			return
+		}
+		pair, mode, typeName := fields[0], fields[1], fields[2]
+		if mode != "encode" && mode != "decode" {
+			p.Report(fn.Pos(), "//dashmm:wire mode %q: want \"encode\" or \"decode\"", mode)
+			return
+		}
+		named, st := lookupNamed(p.Pkg, typeName)
+		if named == nil || st == nil {
+			p.Report(fn.Pos(), "//dashmm:wire names unknown struct type %q in package %s", typeName, p.Pkg.Path())
+			return
+		}
+		side := &wpSide{
+			pair:       pair,
+			mode:       mode,
+			subjectKey: wpTypeKey(named),
+			fnKey:      loFuncKey(obj),
+			fnName:     funcName(fn),
+			pos:        p.Fset.Position(fn.Pos()),
+			jsonOn:     map[string]token.Position{},
+		}
+		side.graph, side.graphOrder = wpBuildGraph(named)
+		if c.sides[pair] == nil {
+			c.pairOrder = append(c.pairOrder, pair)
+		}
+		c.sides[pair] = append(c.sides[pair], side)
+	})
+}
+
+// wpTypeKey names a type uniquely across packages.
+func wpTypeKey(n *types.Named) string {
+	pkg := ""
+	if n.Obj().Pkg() != nil {
+		pkg = n.Obj().Pkg().Path()
+	}
+	return pkg + "." + n.Obj().Name()
+}
+
+// wpBuildGraph returns every module-internal named struct type reachable
+// from the root through fields, slice/array/map elements and pointers.
+// "Module-internal" means sharing the root package path's first segment,
+// which keeps time.Time and friends out of coverage.
+func wpBuildGraph(root *types.Named) (map[string]*wpType, []string) {
+	module := ""
+	if root.Obj().Pkg() != nil {
+		module, _, _ = strings.Cut(root.Obj().Pkg().Path(), "/")
+	}
+	graph := map[string]*wpType{}
+	var order []string
+	var add func(n *types.Named)
+	var visit func(t types.Type)
+	visit = func(t types.Type) {
+		switch u := t.(type) {
+		case *types.Pointer:
+			visit(u.Elem())
+		case *types.Slice:
+			visit(u.Elem())
+		case *types.Array:
+			visit(u.Elem())
+		case *types.Map:
+			visit(u.Key())
+			visit(u.Elem())
+		case *types.Named:
+			add(u)
+		case *types.Alias:
+			visit(types.Unalias(u))
+		}
+	}
+	add = func(n *types.Named) {
+		pkg := ""
+		if n.Obj().Pkg() != nil {
+			pkg, _, _ = strings.Cut(n.Obj().Pkg().Path(), "/")
+		}
+		if pkg != module {
+			return
+		}
+		st, ok := n.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		key := wpTypeKey(n)
+		if graph[key] != nil {
+			return
+		}
+		wt := &wpType{key: key, disp: n.Obj().Name()}
+		graph[key] = wt
+		order = append(order, key)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			wt.fields = append(wt.fields, wpField{name: f.Name(), tag: st.Tag(i), exported: f.Exported()})
+			visit(f.Type())
+		}
+	}
+	add(root)
+	return graph, order
+}
+
+// collect walks one side's function body, following static calls to
+// indexed (repository) functions, and records subject-graph field accesses
+// and json.Marshal/Unmarshal usage in source order.
+func (c *WireProto) collect(side *wpSide) {
+	visited := map[string]bool{}
+	var walk func(ix *wpIndexed, depth int)
+	walk = func(ix *wpIndexed, depth int) {
+		if depth > 8 {
+			return
+		}
+		ast.Inspect(ix.fn.Body, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.SelectorExpr:
+				sel := ix.p.Info.Selections[t]
+				if sel == nil || sel.Kind() != types.FieldVal {
+					return true
+				}
+				recv := namedOf(sel.Recv())
+				if recv == nil {
+					return true
+				}
+				if wt := side.graph[wpTypeKey(recv)]; wt != nil {
+					side.events = append(side.events, wpEvent{
+						typ: wt.key, field: t.Sel.Name, pos: ix.p.Fset.Position(t.Sel.Pos()),
+					})
+				}
+			case *ast.CompositeLit:
+				tv, ok := ix.p.Info.Types[t]
+				if !ok {
+					return true
+				}
+				named := namedOf(tv.Type)
+				if named == nil {
+					return true
+				}
+				wt := side.graph[wpTypeKey(named)]
+				if wt == nil {
+					return true
+				}
+				keyed := false
+				for _, el := range t.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						keyed = true
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							side.events = append(side.events, wpEvent{
+								typ: wt.key, field: id.Name, pos: ix.p.Fset.Position(kv.Key.Pos()),
+							})
+						}
+					}
+				}
+				if !keyed && len(t.Elts) > 0 {
+					// A positional literal touches every field in order.
+					for _, f := range wt.fields {
+						side.events = append(side.events, wpEvent{
+							typ: wt.key, field: f.name, pos: ix.p.Fset.Position(t.Pos()),
+						})
+					}
+				}
+			case *ast.CallExpr:
+				if c.noteJSON(side, ix, t) {
+					return true
+				}
+				if callee := wpStaticCallee(ix.p, t); callee != nil {
+					key := loFuncKey(callee)
+					if ix2 := c.index[key]; ix2 != nil && !visited[key] {
+						visited[key] = true
+						walk(ix2, depth+1)
+					}
+				}
+			}
+			return true
+		})
+	}
+	if ix := c.index[side.fnKey]; ix != nil {
+		visited[side.fnKey] = true
+		walk(ix, 0)
+	}
+}
+
+// noteJSON records json.Marshal/Unmarshal applied to a subject-graph type.
+func (c *WireProto) noteJSON(side *wpSide, ix *wpIndexed, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := ix.p.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "encoding/json" {
+		return false
+	}
+	if sel.Sel.Name != "Marshal" && sel.Sel.Name != "Unmarshal" &&
+		sel.Sel.Name != "MarshalIndent" {
+		return false
+	}
+	for _, arg := range call.Args {
+		e := arg
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e = u.X
+		}
+		tv, ok := ix.p.Info.Types[e]
+		if !ok {
+			continue
+		}
+		n := namedOf(tv.Type)
+		if n == nil {
+			continue
+		}
+		key := wpTypeKey(n)
+		if side.graph[key] != nil {
+			if _, seen := side.jsonOn[key]; !seen {
+				side.jsonOn[key] = ix.p.Fset.Position(call.Pos())
+			}
+		}
+	}
+	return true
+}
+
+func wpStaticCallee(p *Pass, t *ast.CallExpr) *types.Func {
+	switch f := t.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel := p.Info.Selections[f]; sel != nil {
+			if sel.Kind() == types.MethodVal {
+				fn, _ := sel.Obj().(*types.Func)
+				return fn
+			}
+			return nil
+		}
+		fn, _ := p.Info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// Finish implements Finisher: pair up the annotated sides and compare
+// field coverage and order per subject-graph type.
+func (c *WireProto) Finish() []Diagnostic {
+	var out []Diagnostic
+	pairs := append([]string(nil), c.pairOrder...)
+	sort.Strings(pairs)
+	for _, pair := range pairs {
+		var enc, dec *wpSide
+		for _, s := range c.sides[pair] {
+			switch {
+			case s.mode == "encode" && enc == nil:
+				enc = s
+			case s.mode == "decode" && dec == nil:
+				dec = s
+			default:
+				out = append(out, Diagnostic{
+					Check: c.Name(), Pos: s.pos,
+					Message: fmt.Sprintf("wire pair %q has more than one %s function", pair, s.mode),
+				})
+			}
+		}
+		if enc == nil || dec == nil {
+			present := enc
+			missing := "decode"
+			if present == nil {
+				present, missing = dec, "encode"
+			}
+			out = append(out, Diagnostic{
+				Check: c.Name(), Pos: present.pos,
+				Message: fmt.Sprintf("wire pair %q has no %s function", pair, missing),
+			})
+			continue
+		}
+		if enc.subjectKey != dec.subjectKey {
+			out = append(out, Diagnostic{
+				Check: c.Name(), Pos: dec.pos,
+				Message: fmt.Sprintf("wire pair %q: encode subject %s but decode subject %s",
+					pair, enc.subjectKey, dec.subjectKey),
+			})
+			continue
+		}
+		c.collect(enc)
+		c.collect(dec)
+		for _, tk := range enc.graphOrder {
+			out = append(out, c.compareType(pair, enc.graph[tk], enc, dec)...)
+		}
+	}
+	return out
+}
+
+// compareType checks one subject-graph type across the two sides.
+func (c *WireProto) compareType(pair string, wt *wpType, enc, dec *wpSide) []Diagnostic {
+	_, encJSON := enc.jsonOn[wt.key]
+	_, decJSON := dec.jsonOn[wt.key]
+	encF := wpFirstOccurrence(enc.events, wt.key)
+	decF := wpFirstOccurrence(dec.events, wt.key)
+
+	switch {
+	case encJSON && decJSON:
+		return c.dupTagDiags(wt, enc)
+	case encJSON && !decJSON:
+		if len(decF) == 0 && !wpAnySideEvents(dec, wt.key) {
+			return []Diagnostic{{
+				Check: c.Name(), Pos: dec.pos,
+				Message: fmt.Sprintf("wire pair %q: %s is json-encoded by %s but never read by decode %s",
+					pair, wt.disp, enc.fnName, dec.fnName),
+			}}
+		}
+		return []Diagnostic{{
+			Check: c.Name(), Pos: dec.pos,
+			Message: fmt.Sprintf("wire pair %q: %s is json-encoded by %s but decoded field-by-field by %s",
+				pair, wt.disp, enc.fnName, dec.fnName),
+		}}
+	case decJSON && !encJSON:
+		if len(encF) == 0 {
+			return []Diagnostic{{
+				Check: c.Name(), Pos: enc.pos,
+				Message: fmt.Sprintf("wire pair %q: %s is json-decoded by %s but never written by encode %s",
+					pair, wt.disp, dec.fnName, enc.fnName),
+			}}
+		}
+		return []Diagnostic{{
+			Check: c.Name(), Pos: enc.pos,
+			Message: fmt.Sprintf("wire pair %q: %s is json-decoded by %s but encoded field-by-field by %s",
+				pair, wt.disp, dec.fnName, enc.fnName),
+		}}
+	}
+
+	var out []Diagnostic
+	detail := wpLayoutDetail(wt, encF, decF)
+	decSet := wpFieldSet(decF)
+	encSet := wpFieldSet(encF)
+	for _, e := range encF {
+		if !decSet[e.field] {
+			out = append(out, Diagnostic{
+				Check: c.Name(), Pos: e.pos,
+				Message: fmt.Sprintf("field %s.%s is written by encode %s but never read by decode %s",
+					wt.disp, e.field, enc.fnName, dec.fnName),
+				Detail: detail,
+			})
+		}
+	}
+	for _, d := range decF {
+		if !encSet[d.field] {
+			out = append(out, Diagnostic{
+				Check: c.Name(), Pos: d.pos,
+				Message: fmt.Sprintf("field %s.%s is read by decode %s but never written by encode %s",
+					wt.disp, d.field, dec.fnName, enc.fnName),
+				Detail: detail,
+			})
+		}
+	}
+	// Order check over the fields both sides cover.
+	var encC, decC []wpEvent
+	for _, e := range encF {
+		if decSet[e.field] {
+			encC = append(encC, e)
+		}
+	}
+	for _, d := range decF {
+		if encSet[d.field] {
+			decC = append(decC, d)
+		}
+	}
+	for i := range decC {
+		if decC[i].field != encC[i].field {
+			out = append(out, Diagnostic{
+				Check: c.Name(), Pos: decC[i].pos,
+				Message: fmt.Sprintf("decode %s reads %s.%s out of order: encode %s writes [%s], decode reads [%s]",
+					dec.fnName, wt.disp, decC[i].field, enc.fnName,
+					wpFieldNames(encC), wpFieldNames(decC)),
+				Detail: detail,
+			})
+			break
+		}
+	}
+	return out
+}
+
+// dupTagDiags flags exported fields whose effective json keys collide.
+func (c *WireProto) dupTagDiags(wt *wpType, enc *wpSide) []Diagnostic {
+	var out []Diagnostic
+	seen := map[string]string{}
+	for _, f := range wt.fields {
+		if !f.exported {
+			continue
+		}
+		name := f.name
+		if tag := reflect.StructTag(f.tag).Get("json"); tag != "" {
+			key, _, _ := strings.Cut(tag, ",")
+			if key == "-" {
+				continue
+			}
+			if key != "" {
+				name = key
+			}
+		}
+		if prev, dup := seen[name]; dup {
+			out = append(out, Diagnostic{
+				Check: c.Name(), Pos: enc.pos,
+				Message: fmt.Sprintf("duplicate json key %q on %s fields %s and %s",
+					name, wt.disp, prev, f.name),
+			})
+			continue
+		}
+		seen[name] = f.name
+	}
+	return out
+}
+
+func wpAnySideEvents(s *wpSide, typ string) bool {
+	for _, e := range s.events {
+		if e.typ == typ {
+			return true
+		}
+	}
+	return false
+}
+
+func wpFirstOccurrence(events []wpEvent, typ string) []wpEvent {
+	var out []wpEvent
+	seen := map[string]bool{}
+	for _, e := range events {
+		if e.typ != typ || seen[e.field] {
+			continue
+		}
+		seen[e.field] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+func wpFieldSet(events []wpEvent) map[string]bool {
+	s := map[string]bool{}
+	for _, e := range events {
+		s[e.field] = true
+	}
+	return s
+}
+
+func wpFieldNames(events []wpEvent) string {
+	parts := make([]string, len(events))
+	for i, e := range events {
+		parts[i] = e.field
+	}
+	return strings.Join(parts, " ")
+}
+
+// wpLayoutDetail renders both sides' ordered field paths for -json output.
+func wpLayoutDetail(wt *wpType, encF, decF []wpEvent) string {
+	line := func(label string, evs []wpEvent) string {
+		parts := make([]string, len(evs))
+		for i, e := range evs {
+			parts[i] = fmt.Sprintf("%s.%s (%s)", wt.disp, e.field, loPos(e.pos))
+		}
+		return label + ": " + strings.Join(parts, ", ")
+	}
+	return line("encode", encF) + "\n" + line("decode", decF)
+}

@@ -543,12 +543,19 @@ func mergeGroups(prs []pwPair) []pwTransfer {
 		d         int8
 	}
 	groups := make(map[gkey][]*tree.Box)
+	var keys []gkey
 	for _, pr := range prs {
 		k := gkey{int32(pr.bs.Parent.Seq), pr.d}
+		if groups[k] == nil {
+			keys = append(keys, k)
+		}
 		groups[k] = append(groups[k], pr.bs)
 	}
+	// Emit groups in first-appearance order: the transfer list feeds the DAG
+	// edge order, which must be identical across ranks and runs.
 	var out []pwTransfer
-	for k, boxes := range groups {
+	for _, k := range keys {
+		boxes := groups[k]
 		if len(boxes) == boxes[0].Parent.NChildren && len(boxes) > 1 {
 			out = append(out, pwTransfer{fromSeq: k.parentSeq, dir: k.d, merged: true})
 			continue

@@ -62,6 +62,7 @@ func (b *base) M2LBatch(offs []M2LOffset, side float64, level int, ins, outs [][
 			// Cache disabled: per-RHS spectral projection about the origin —
 			// the operator depends only on the offset vector, so projecting
 			// from the origin to offset*side reproduces the per-edge result.
+			//lint:ignore escape-gate pool miss path: newWorkspace (inlined here) allocates only when the free list is empty; steady state recycles workspaces, so the hot path stays allocation-free
 			ws := b.wsp.get(b)
 			toP := offs[lo].Scale(side)
 			for i := lo; i < hi; i++ {

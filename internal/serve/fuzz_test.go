@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/kernel"
+	"repro/internal/tree"
+)
+
+// FuzzJobSpec drives the control-plane job codec with arbitrary bytes.
+// Decode must never panic; a spec it accepts must reach a fixpoint after
+// one canonicalizing round trip (the first decode may normalize, e.g. an
+// explicit empty pre_dead list re-encodes as absent, but after that the
+// encoding must be stable).
+func FuzzJobSpec(f *testing.F) {
+	f.Add((&jobSpec{
+		Gen: 1, Distribution: "cube", N: 64, Seed: 1,
+		Kernel: "laplace", Digits: 3, Threshold: 40, RunSeed: 1, TimeoutMS: 500,
+	}).encode())
+	f.Add((&jobSpec{
+		Gen: 2, PreDead: []int{1, 3}, Distribution: "sphere", N: 10, Seed: 3,
+		Kernel: "yukawa", Lambda: 2.5, Digits: 6, Threshold: 10, RunSeed: 4, TimeoutMS: 100,
+	}).encode())
+	f.Add([]byte(`{"gen":7,"pre_dead":[],"n":-1,"lambda":1e300}`))
+	f.Add([]byte(`{"gen":`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		j1, err := decodeJobSpec(data)
+		if err != nil {
+			return
+		}
+		canon := j1.encode()
+		j2, err := decodeJobSpec(canon)
+		if err != nil {
+			t.Fatalf("re-decoding an encoding the codec produced: %v", err)
+		}
+		if enc2 := j2.encode(); !bytes.Equal(canon, enc2) {
+			t.Fatalf("encoding not a fixpoint:\n first %s\nsecond %s", canon, enc2)
+		}
+		j3, err := decodeJobSpec(j2.encode())
+		if err != nil {
+			t.Fatalf("third decode: %v", err)
+		}
+		if !reflect.DeepEqual(j2, j3) {
+			t.Fatalf("round-trip mismatch: %+v != %+v", j2, j3)
+		}
+	})
+}
+
+// FuzzStoreLoad drives the DMMP record payload codec. Decode must never
+// panic, and a record it accepts must re-encode to a stable byte string:
+// floats and complexes travel as raw IEEE bits (NaN payloads included), so
+// the comparison is over encodings, which is bitwise, not over values,
+// which NaN would break.
+func FuzzStoreLoad(f *testing.F) {
+	rec := &PlanRecord{
+		Key:  "laplace/cube/64",
+		Spec: Request{Distribution: "cube", N: 64, Seed: 1, Kernel: "laplace", Digits: 3},
+		Source: tree.Skeleton{
+			Domain: geom.Cube{Low: geom.Point{X: -1, Y: -1, Z: -1}, Side: 2},
+			Perm:   []int{1, 0, 2},
+			Boxes: []tree.SkeletonBox{
+				{Index: geom.Index{Level: 0}, Lo: 0, Hi: 3},
+				{Index: geom.Index{Level: 1, X: 1, Y: 0, Z: 1}, Lo: 0, Hi: 2},
+			},
+		},
+		Target: tree.Skeleton{
+			Domain: geom.Cube{Side: 1},
+			Perm:   []int{0},
+			Boxes:  []tree.SkeletonBox{{Lo: 0, Hi: 1}},
+		},
+		Ops: []kernel.OperatorTable{
+			{Kind: 1, SideBits: 0x3ff0000000000000, DX: 1, DY: -1, DZ: 0,
+				Mx: []complex128{complex(1.5, -2.5), complex(0, 3)}},
+		},
+	}
+	f.Add(appendRecord(nil, rec))
+	f.Add(appendRecord(nil, &PlanRecord{Key: "k", Spec: Request{}}))
+	// Truncated and key-less corruptions.
+	full := appendRecord(nil, rec)
+	f.Add(full[:len(full)-5])
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec1, err := decodeRecord(data)
+		if err != nil {
+			return
+		}
+		enc1 := appendRecord(nil, rec1)
+		rec2, err := decodeRecord(enc1)
+		if err != nil {
+			t.Fatalf("re-decoding an encoding the codec produced: %v", err)
+		}
+		enc2 := appendRecord(nil, rec2)
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encoding not a fixpoint: %d vs %d bytes", len(enc1), len(enc2))
+		}
+	})
+}

@@ -29,6 +29,7 @@ type jobSpec struct {
 	TimeoutMS int64 `json:"timeout_ms"`
 }
 
+//dashmm:wire jobspec encode jobSpec
 func (j *jobSpec) encode() []byte {
 	b, err := json.Marshal(j)
 	if err != nil {
@@ -38,6 +39,7 @@ func (j *jobSpec) encode() []byte {
 	return b
 }
 
+//dashmm:wire jobspec decode jobSpec
 func decodeJobSpec(b []byte) (*jobSpec, error) {
 	var j jobSpec
 	if err := json.Unmarshal(b, &j); err != nil {

@@ -236,6 +236,7 @@ func (p *Pool) Evaluate(ctx context.Context, req *Request, entry *planEntry, cha
 		p.breaker.failure()
 		return nil, core.ExecReport{}, fmt.Errorf("%w: no live workers", ErrDegraded)
 	}
+	//lint:ignore lockorder jobMu serializes whole distributed jobs by design — the standing cluster runs one collective job at a time, so the critical section IS the job
 	pots, rep, err := p.runJob(ctx, req, entry, charges)
 	if err != nil && ctx.Err() == nil && p.cl.LiveWorkers() > 0 {
 		// A worker died mid-run (or the run otherwise broke) and time
@@ -243,6 +244,7 @@ func (p *Pool) Evaluate(ctx context.Context, req *Request, entry *planEntry, cha
 		// carries the updated dead-rank base, so the retry places nothing
 		// on the corpse.
 		p.retries.Add(1)
+		//lint:ignore lockorder jobMu serializes whole distributed jobs by design — the standing cluster runs one collective job at a time, so the critical section IS the job
 		pots, rep, err = p.runJob(ctx, req, entry, charges)
 	}
 	if err != nil {
@@ -268,6 +270,7 @@ func (p *Pool) runJob(ctx context.Context, req *Request, entry *planEntry, charg
 	}
 	spec := jobSpecFrom(req)
 	spec.TimeoutMS = timeout.Milliseconds()
+	//lint:ignore lockorder jobMu serializes whole distributed jobs by design — the standing cluster runs one collective job at a time, so the critical section IS the job
 	gen, deadOrder := p.cl.StartJob(func(gen uint32, deadOrder []int) []byte {
 		spec.Gen = gen
 		spec.PreDead = deadOrder
@@ -275,6 +278,7 @@ func (p *Pool) runJob(ctx context.Context, req *Request, entry *planEntry, charg
 		return spec.encode()
 	})
 	defer p.cl.EndJob()
+	//lint:ignore lockorder jobMu serializes whole distributed jobs by design — the standing cluster runs one collective job at a time, so the critical section IS the job
 	pots, rep, err := core.DistRun(entry.plan, p.cl, charges, core.DistOptions{
 		Workers:    p.cfg.RankThreads,
 		Seed:       spec.RunSeed,
@@ -286,6 +290,7 @@ func (p *Pool) runJob(ctx context.Context, req *Request, entry *planEntry, charg
 	if err != nil {
 		// Release the surviving workers' runs: their rank≠0 DistRun returns
 		// cleanly on Shutdown and they stay alive for the retry.
+		//lint:ignore lockorder jobMu serializes whole distributed jobs by design — the standing cluster runs one collective job at a time, so the critical section IS the job
 		p.cl.Shutdown()
 	}
 	// The transport's wire counters are cumulative over the standing

@@ -338,6 +338,7 @@ func (s *Server) evaluate(reqCtx context.Context, req *Request, queueWait time.D
 		// request total would fold cold plan-build (and entry-lock wait)
 		// time into the Evaluate histogram.
 		evalStart := time.Now()
+		//lint:ignore lockorder entry.mu serializes evaluation of one plan by design (stampede protection): the critical section is the evaluation itself
 		pots, rep, derr := s.pool.Evaluate(reqCtx, req, entry, req.chargeVector())
 		if derr == nil {
 			s.metrics.DistOK.Add(1)
@@ -389,6 +390,7 @@ func (s *Server) evaluate(reqCtx context.Context, req *Request, queueWait time.D
 		ctx.tracer.SetEnabled(true)
 	}
 	evalStart := time.Now()
+	//lint:ignore lockorder entry.mu serializes evaluation of one plan by design (stampede protection): the critical section is the evaluation itself
 	potentials, rep, err := ctx.pe.Run(req.chargeVector())
 	evalDur := time.Since(evalStart)
 	var traceJSONL string

@@ -190,6 +190,8 @@ func readRecordFile(path string) (*PlanRecord, error) {
 // appendRecord encodes the record payload: the spec as JSON (small, schema-
 // tolerant), then the two tree skeletons and the operator tables in packed
 // little-endian binary (bulk data).
+//
+//dashmm:wire planrecord encode PlanRecord
 func appendRecord(dst []byte, rec *PlanRecord) []byte {
 	dst = appendBytes(dst, []byte(rec.Key))
 	spec, _ := json.Marshal(rec.Spec)
@@ -321,6 +323,7 @@ func (r *recReader) count(elemSize int) int {
 	return n
 }
 
+//dashmm:wire planrecord decode PlanRecord
 func decodeRecord(payload []byte) (*PlanRecord, error) {
 	r := &recReader{buf: payload}
 	rec := &PlanRecord{Key: string(r.bytes())}

@@ -209,6 +209,7 @@ func runWorkerJob(cl *amt.Cluster, cache *planCache, threads int, gen uint32, pa
 	timeout := time.Duration(spec.TimeoutMS)*time.Millisecond + 15*time.Second
 	entry.mu.Lock()
 	defer entry.mu.Unlock()
+	//lint:ignore lockorder entry.mu serializes evaluation of one plan by design (stampede protection): the critical section is the evaluation itself
 	_, _, err = core.DistRun(entry.plan, cl, nil, core.DistOptions{
 		Workers:    threads,
 		Seed:       spec.RunSeed,
